@@ -1,0 +1,261 @@
+//! Signature learning: deriving the SNI→app map from labelled observations.
+//!
+//! The paper's mappings are "based on the experimental data on app Internet
+//! communication performed with different devices (e.g., Samsung Gear S,
+//! Nexus 5) and the information reported by Androlyzer" (Sec. 3.3): you run
+//! each app in a lab, record which hosts it talks to, and generalize those
+//! observations into domain-suffix signatures. [`SignatureLearner`] is that
+//! generalization step: it finds, per observed host, the **shortest domain
+//! suffix that is unambiguous** across the training data (and at least two
+//! labels deep, so a single app never claims an entire TLD).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::apps::AppId;
+use crate::classify::{Classification, SniClassifier};
+
+/// Learns domain-suffix signatures from `(host, app)` observations.
+///
+/// # Examples
+/// ```
+/// use wearscope_appdb::{AppId, learn::SignatureLearner};
+/// let mut learner = SignatureLearner::new();
+/// learner.observe("api.weather.com", AppId(0));
+/// learner.observe("cdn.weather.com", AppId(0));
+/// learner.observe("api.maps.example.com", AppId(1));
+/// let clf = learner.into_classifier();
+/// // Generalizes to unseen subdomains of the learned suffix.
+/// assert_eq!(clf.classify("edge9.weather.com").unwrap().app(), Some(AppId(0)));
+/// assert_eq!(clf.classify("tiles.maps.example.com").unwrap().app(), Some(AppId(1)));
+/// assert!(clf.classify("other.example.org").is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct SignatureLearner {
+    /// Distinct (normalized host, label) observations.
+    observations: BTreeSet<(String, AppId)>,
+}
+
+impl SignatureLearner {
+    /// An empty learner.
+    pub fn new() -> SignatureLearner {
+        SignatureLearner::default()
+    }
+
+    /// Records one lab observation: `host` was contacted while running `app`.
+    pub fn observe(&mut self, host: &str, app: AppId) {
+        let host = normalize(host);
+        if !host.is_empty() {
+            self.observations.insert((host, app));
+        }
+    }
+
+    /// Number of distinct observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// `true` when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Derives the minimal signature set: for every observed host, the
+    /// shortest suffix of ≥ 2 labels whose observed label set is a single
+    /// app. Hosts contacted by multiple apps (shared infrastructure) yield
+    /// no signature at any level that stays ambiguous — exactly how shared
+    /// CDNs drop out of real signature sets.
+    pub fn learn(&self) -> Vec<(String, AppId)> {
+        // Suffix → set of labels observed under it.
+        let mut labels_by_suffix: BTreeMap<String, BTreeSet<AppId>> = BTreeMap::new();
+        for (host, app) in &self.observations {
+            for suffix in suffixes(host) {
+                labels_by_suffix.entry(suffix).or_default().insert(*app);
+            }
+        }
+        let mut signatures: BTreeMap<String, AppId> = BTreeMap::new();
+        for (host, app) in &self.observations {
+            // Shortest-to-longest: most general unambiguous suffix wins.
+            let mut chosen: Option<String> = None;
+            let mut candidate_list: Vec<String> = suffixes(host);
+            candidate_list.sort_by_key(|s| s.matches('.').count());
+            for suffix in candidate_list {
+                if suffix.matches('.').count() < 1 {
+                    continue; // never claim a bare TLD
+                }
+                let labels = &labels_by_suffix[&suffix];
+                if labels.len() == 1 {
+                    chosen = Some(suffix);
+                    break;
+                }
+            }
+            if let Some(suffix) = chosen {
+                signatures.insert(suffix, *app);
+            }
+        }
+        // Drop signatures shadowed by a shorter signature with the same
+        // label (redundant specializations).
+        let keys: Vec<String> = signatures.keys().cloned().collect();
+        let mut out: Vec<(String, AppId)> = Vec::new();
+        'outer: for key in keys {
+            let app = signatures[&key];
+            for other in signatures.keys() {
+                if *other != key && is_suffix_of(other, &key) && signatures[other] == app {
+                    continue 'outer; // a more general signature covers it
+                }
+            }
+            out.push((key, app));
+        }
+        out
+    }
+
+    /// Builds a classifier from the learned signatures (first-party only:
+    /// the lab cannot label third-party classes, mirroring the paper's
+    /// two-source approach where domain classes come from a separate list).
+    pub fn into_classifier(&self) -> SniClassifier {
+        let mut clf = SniClassifier::third_party_only();
+        for (suffix, app) in self.learn() {
+            clf.insert(&suffix, Classification::FirstParty(app));
+        }
+        clf
+    }
+
+    /// Evaluates learned signatures against labelled test pairs, returning
+    /// `(correct, total)` — hosts classified to the wrong app or left
+    /// unclassified both count against.
+    pub fn evaluate(&self, test: &[(String, AppId)]) -> (usize, usize) {
+        let clf = self.into_classifier();
+        let correct = test
+            .iter()
+            .filter(|(host, app)| {
+                clf.classify(host)
+                    .and_then(Classification::app)
+                    .is_some_and(|got| got == *app)
+            })
+            .count();
+        (correct, test.len())
+    }
+}
+
+/// All dot-suffixes of a host, e.g. `a.b.c` → `[a.b.c, b.c, c]`.
+fn suffixes(host: &str) -> Vec<String> {
+    let mut out = vec![host.to_string()];
+    let mut rest = host;
+    while let Some((_, tail)) = rest.split_once('.') {
+        out.push(tail.to_string());
+        rest = tail;
+    }
+    out
+}
+
+/// `true` if `general` is a label-boundary suffix of `specific`.
+fn is_suffix_of(general: &str, specific: &str) -> bool {
+    specific.len() > general.len()
+        && specific.ends_with(general)
+        && specific.as_bytes()[specific.len() - general.len() - 1] == b'.'
+}
+
+fn normalize(host: &str) -> String {
+    host.trim().trim_matches('.').to_ascii_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::AppCatalog;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn learns_general_suffix_from_subdomains() {
+        let mut l = SignatureLearner::new();
+        l.observe("api.weather.com", AppId(0));
+        l.observe("cdn.weather.com", AppId(0));
+        let sigs = l.learn();
+        assert_eq!(sigs, vec![("weather.com".to_string(), AppId(0))]);
+    }
+
+    #[test]
+    fn ambiguous_parents_force_specific_signatures() {
+        let mut l = SignatureLearner::new();
+        // Two apps share googleapis.com; each keeps its own subdomain.
+        l.observe("maps.googleapis.com", AppId(1));
+        l.observe("youtubei.googleapis.com", AppId(4));
+        let mut sigs = l.learn();
+        sigs.sort();
+        assert_eq!(
+            sigs,
+            vec![
+                ("maps.googleapis.com".to_string(), AppId(1)),
+                ("youtubei.googleapis.com".to_string(), AppId(4)),
+            ]
+        );
+    }
+
+    #[test]
+    fn fully_shared_hosts_yield_nothing() {
+        let mut l = SignatureLearner::new();
+        l.observe("shared-cdn.example.com", AppId(0));
+        l.observe("shared-cdn.example.com", AppId(1));
+        // Every suffix of this host is ambiguous.
+        assert!(l.learn().is_empty());
+    }
+
+    #[test]
+    fn never_claims_bare_tld() {
+        let mut l = SignatureLearner::new();
+        l.observe("only-app.com", AppId(7));
+        let sigs = l.learn();
+        assert_eq!(sigs, vec![("only-app.com".to_string(), AppId(7))]);
+    }
+
+    #[test]
+    fn learned_classifier_matches_catalog_on_lab_traffic() {
+        // Simulate the paper's lab protocol: run each catalog app, observe
+        // its first-party hosts with random subdomain prefixes, learn, then
+        // test on *fresh* subdomains.
+        let catalog = AppCatalog::standard();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut learner = SignatureLearner::new();
+        let mut test: Vec<(String, AppId)> = Vec::new();
+        for (id, app) in catalog.iter() {
+            for domain in app.domains {
+                for k in 0..3 {
+                    learner.observe(&format!("lab{k}.{domain}"), id);
+                }
+                let fresh: u32 = rng.random_range(100..999);
+                test.push((format!("edge{fresh}.{domain}"), id));
+            }
+        }
+        let (correct, total) = learner.evaluate(&test);
+        // appdb's catalog has unique first-party domains, so learning should
+        // be essentially perfect.
+        assert!(
+            correct * 100 >= total * 95,
+            "learned accuracy {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn shadowed_specializations_are_dropped() {
+        let mut l = SignatureLearner::new();
+        l.observe("a.x.example.com", AppId(3));
+        l.observe("b.x.example.com", AppId(3));
+        l.observe("c.example.com", AppId(3));
+        let sigs = l.learn();
+        // example.com alone is unambiguous; nothing longer survives.
+        assert_eq!(sigs, vec![("example.com".to_string(), AppId(3))]);
+    }
+
+    #[test]
+    fn empty_and_junk_observations() {
+        let mut l = SignatureLearner::new();
+        assert!(l.is_empty());
+        l.observe("   ", AppId(0));
+        l.observe("...", AppId(0));
+        assert!(l.is_empty());
+        assert!(l.learn().is_empty());
+        let clf = l.into_classifier();
+        // Third-party signatures still present.
+        assert!(clf.classify("ads.doubleclick.net").is_some());
+    }
+}

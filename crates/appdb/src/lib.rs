@@ -1,0 +1,38 @@
+//! App knowledge base for the `wearscope` study.
+//!
+//! Section 3.3 of the paper maps proxy-log connections to apps using the SNI
+//! (HTTPS) or full URL (HTTP), based on lab experiments and Androlyzer
+//! metadata; Section 5.2 classifies each transaction's domain into
+//! *Application* (first party), *Utilities* (CDNs), *Advertising*, and
+//! *Analytics*, following Seneviratne et al.; the conclusion fingerprints
+//! Through-Device wearables from distinctive traffic signatures.
+//!
+//! This crate is that knowledge base:
+//! * [`AppCatalog`] — the 50 wearable apps of Fig. 5 with their Google Play
+//!   categories and per-app traffic profiles;
+//! * [`DomainClass`] + the third-party domain catalog;
+//! * [`SniClassifier`] — longest-suffix domain matching (reversed-label
+//!   trie) from SNI/URL host to app or third-party service;
+//! * [`fingerprints`] — Through-Device wearable signatures (Fitbit, Xiaomi,
+//!   and the AccuWeather/Strava/Runtastic wearable endpoints);
+//! * [`learn`] — the Androlyzer-style step that turns labelled lab
+//!   observations into the signature set in the first place.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apps;
+pub mod catalog;
+pub mod category;
+pub mod classify;
+pub mod domains;
+pub mod fingerprints;
+pub mod learn;
+
+pub use apps::{AppId, AppProfile, DomainMix, TrafficProfile};
+pub use catalog::AppCatalog;
+pub use category::AppCategory;
+pub use classify::{Classification, SniClassifier};
+pub use domains::{third_party_domains, DomainClass, ThirdPartyDomain};
+pub use fingerprints::{fingerprint_host, ThroughDeviceKind};
+pub use learn::SignatureLearner;

@@ -1,0 +1,168 @@
+//! One criterion group per paper figure: measures the analysis pass that
+//! regenerates it from the logs. Every table and figure of the paper's
+//! evaluation has a bench target here (see DESIGN.md's experiment index).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wearscope_bench::{ctx, medium_world};
+use wearscope_core::activity::{
+    self, ActivityCorrelation, ActivitySpans, HourlyProfile, TransactionStats,
+};
+use wearscope_core::adoption::{AdoptionTrend, CohortRetention, DataActiveShare, RetentionCurves};
+use wearscope_core::devices::DeviceMix;
+use wearscope_core::quality::DataQualityReport;
+use wearscope_core::weekly::WeeklyPattern;
+use wearscope_core::apps::{AppPopularity, AppUsage, CategoryPopularity, InstallStats};
+use wearscope_core::compare::{self, OwnerVsRest, WearableShare};
+use wearscope_core::mobility::{Displacement, LocationEntropy, MobilityActivity, MobilityIndex};
+use wearscope_core::sessions::{self, PerUsage};
+use wearscope_core::takeaways::Takeaways;
+use wearscope_core::thirdparty::DomainBreakdown;
+use wearscope_core::through_device::ThroughDeviceReport;
+
+fn fig2_adoption(c: &mut Criterion) {
+    let world = medium_world();
+    let context = ctx(world);
+    c.bench_function("fig2a_adoption_trend", |b| {
+        b.iter(|| AdoptionTrend::compute(black_box(&world.summaries.mme), &context.window))
+    });
+    c.bench_function("fig2b_cohort_retention", |b| {
+        b.iter(|| CohortRetention::compute(black_box(&world.summaries.mme), &context.window))
+    });
+    c.bench_function("s41_data_active_share", |b| {
+        b.iter(|| {
+            DataActiveShare::compute(
+                black_box(&world.summaries.mme),
+                &world.summaries.wearable_traffic,
+                &context.window,
+            )
+        })
+    });
+    c.bench_function("retention_curves", |b| {
+        b.iter(|| RetentionCurves::compute(black_box(&world.summaries.mme), &context.window))
+    });
+}
+
+fn fig3_activity(c: &mut Criterion) {
+    let world = medium_world();
+    let context = ctx(world);
+    let act = activity::user_activity(&context);
+    c.bench_function("fig3a_hourly_profile", |b| {
+        b.iter(|| HourlyProfile::compute(black_box(&context)))
+    });
+    c.bench_function("fig3b_activity_spans", |b| {
+        b.iter(|| ActivitySpans::compute(&context, black_box(&act)))
+    });
+    c.bench_function("fig3c_transaction_stats", |b| {
+        b.iter(|| TransactionStats::compute(&context, black_box(&act)))
+    });
+    c.bench_function("fig3d_activity_correlation", |b| {
+        b.iter(|| ActivityCorrelation::compute(black_box(&act)))
+    });
+}
+
+fn fig4_compare_mobility(c: &mut Criterion) {
+    let world = medium_world();
+    let context = ctx(world);
+    let traffic = compare::user_traffic(&context);
+    let mobility = MobilityIndex::build(&context);
+    let act = activity::user_activity(&context);
+    c.bench_function("fig4a_owner_vs_rest", |b| {
+        b.iter(|| OwnerVsRest::compute(&context, black_box(&traffic)))
+    });
+    c.bench_function("fig4b_wearable_share", |b| {
+        b.iter(|| WearableShare::compute(&context, black_box(&traffic)))
+    });
+    c.bench_function("fig4c_mobility_index_and_displacement", |b| {
+        b.iter(|| {
+            let index = MobilityIndex::build(black_box(&context));
+            Displacement::compute(&context, &index)
+        })
+    });
+    c.bench_function("s44_location_entropy", |b| {
+        b.iter(|| LocationEntropy::compute(&context, black_box(&mobility)))
+    });
+    c.bench_function("fig4d_mobility_activity", |b| {
+        b.iter(|| MobilityActivity::compute(&context, black_box(&mobility), &act))
+    });
+}
+
+fn fig567_apps(c: &mut Criterion) {
+    let world = medium_world();
+    let context = ctx(world);
+    let attributed = sessions::attribute_transactions(&context);
+    let sess = sessions::sessionize(&attributed);
+    c.bench_function("s33_attribute_transactions", |b| {
+        b.iter(|| sessions::attribute_transactions(black_box(&context)))
+    });
+    c.bench_function("fig5a_app_popularity", |b| {
+        b.iter(|| AppPopularity::compute(black_box(&attributed)))
+    });
+    c.bench_function("fig5b_app_usage", |b| {
+        b.iter(|| AppUsage::compute(black_box(&sess)))
+    });
+    c.bench_function("fig6_category_popularity", |b| {
+        let pop = AppPopularity::compute(&attributed);
+        let usage = AppUsage::compute(&sess);
+        b.iter(|| CategoryPopularity::compute(&context, black_box(&pop), &usage))
+    });
+    c.bench_function("fig7_sessionize_and_per_usage", |b| {
+        b.iter(|| {
+            let s = sessions::sessionize(black_box(&attributed));
+            PerUsage::compute(&s)
+        })
+    });
+    c.bench_function("s43_install_stats", |b| {
+        b.iter(|| InstallStats::compute(black_box(&attributed)))
+    });
+}
+
+fn fig8_and_sec6(c: &mut Criterion) {
+    let world = medium_world();
+    let context = ctx(world);
+    let mobility = MobilityIndex::build(&context);
+    c.bench_function("fig8_domain_breakdown", |b| {
+        b.iter(|| DomainBreakdown::compute(black_box(&context)))
+    });
+    c.bench_function("s6_through_device", |b| {
+        b.iter(|| ThroughDeviceReport::compute(black_box(&context), &mobility))
+    });
+}
+
+fn extensions(c: &mut Criterion) {
+    let world = medium_world();
+    let context = ctx(world);
+    c.bench_function("s41_device_mix", |b| {
+        b.iter(|| DeviceMix::compute(black_box(&context)))
+    });
+    c.bench_function("s42_weekly_pattern", |b| {
+        b.iter(|| WeeklyPattern::compute(black_box(&context)))
+    });
+    c.bench_function("qa_data_quality", |b| {
+        b.iter(|| DataQualityReport::compute(black_box(&context)))
+    });
+}
+
+fn takeaways_full(c: &mut Criterion) {
+    let world = medium_world();
+    let context = ctx(world);
+    let mut group = c.benchmark_group("takeaways");
+    group.sample_size(10);
+    group.bench_function("full_pipeline", |b| {
+        b.iter(|| Takeaways::compute(black_box(&context), &world.summaries))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    fig2_adoption,
+    fig3_activity,
+    fig4_compare_mobility,
+    fig567_apps,
+    fig8_and_sec6,
+    extensions,
+    takeaways_full
+);
+criterion_main!(figures);

@@ -1,0 +1,188 @@
+//! The study context: logs plus lookup services, pre-indexed.
+
+use std::collections::{HashMap, HashSet};
+
+use wearscope_appdb::{AppCatalog, SniClassifier};
+use wearscope_devicedb::{DeviceClass, DeviceDb, Imei};
+use wearscope_geo::SectorDirectory;
+use wearscope_simtime::ObservationWindow;
+use wearscope_trace::{ProxyRecord, TraceStore, UserId};
+
+/// Everything an analysis needs, bundled: the detailed-window logs, the
+/// three lookup services of Fig. 1 (device DB, cell plan, app signatures),
+/// and the observation window. Mirrors exactly the inputs the paper's
+/// authors had — no generator ground truth.
+pub struct StudyContext<'a> {
+    /// Detailed-window logs.
+    pub store: &'a TraceStore,
+    /// Device database (IMEI → model/class).
+    pub db: &'a DeviceDb,
+    /// Sector directory (sector id → coordinates).
+    pub sectors: &'a SectorDirectory,
+    /// App catalog.
+    pub catalog: &'a AppCatalog,
+    /// SNI/host classifier built over `catalog` plus third-party signatures.
+    pub classifier: SniClassifier,
+    /// Observation window.
+    pub window: ObservationWindow,
+    /// Cached IMEI → device class for every IMEI in the logs.
+    class_by_imei: HashMap<u64, Option<DeviceClass>>,
+    /// Users observed with a SIM-enabled wearable device.
+    owners: HashSet<UserId>,
+    /// All users observed in either log.
+    all_users: HashSet<UserId>,
+}
+
+impl<'a> StudyContext<'a> {
+    /// Builds the context, scanning the logs once to index devices/users.
+    pub fn new(
+        store: &'a TraceStore,
+        db: &'a DeviceDb,
+        sectors: &'a SectorDirectory,
+        catalog: &'a AppCatalog,
+        window: ObservationWindow,
+    ) -> StudyContext<'a> {
+        let classifier = SniClassifier::build(catalog);
+        let mut class_by_imei: HashMap<u64, Option<DeviceClass>> = HashMap::new();
+        let mut owners = HashSet::new();
+        let mut all_users = HashSet::new();
+        let mut classify = |imei: u64, user: UserId| {
+            let class = *class_by_imei
+                .entry(imei)
+                .or_insert_with(|| Imei::from_u64(imei).ok().and_then(|i| db.lookup(i)).map(|r| r.class));
+            all_users.insert(user);
+            if class == Some(DeviceClass::CellularWearable) {
+                owners.insert(user);
+            }
+        };
+        for r in store.proxy() {
+            classify(r.imei, r.user);
+        }
+        for r in store.mme() {
+            classify(r.imei, r.user);
+        }
+        StudyContext {
+            store,
+            db,
+            sectors,
+            catalog,
+            classifier,
+            window,
+            class_by_imei,
+            owners,
+            all_users,
+        }
+    }
+
+    /// The device class behind an IMEI, if the device DB knows it.
+    pub fn device_class(&self, imei: u64) -> Option<DeviceClass> {
+        self.class_by_imei.get(&imei).copied().flatten()
+    }
+
+    /// `true` if this proxy record was issued by a SIM-enabled wearable.
+    pub fn is_wearable_record(&self, r: &ProxyRecord) -> bool {
+        self.device_class(r.imei) == Some(DeviceClass::CellularWearable)
+    }
+
+    /// Users observed with a SIM-enabled wearable (the paper's "users that
+    /// have wearable devices").
+    pub fn owners(&self) -> &HashSet<UserId> {
+        &self.owners
+    }
+
+    /// All users observed in the detailed logs.
+    pub fn all_users(&self) -> &HashSet<UserId> {
+        &self.all_users
+    }
+
+    /// Proxy records issued by SIM-enabled wearables.
+    pub fn wearable_proxy(&self) -> impl Iterator<Item = &'a ProxyRecord> + '_ {
+        self.store
+            .proxy()
+            .iter()
+            .filter(move |r| self.device_class(r.imei) == Some(DeviceClass::CellularWearable))
+    }
+
+    /// Proxy records issued by smartphones.
+    pub fn phone_proxy(&self) -> impl Iterator<Item = &'a ProxyRecord> + '_ {
+        self.store
+            .proxy()
+            .iter()
+            .filter(move |r| self.device_class(r.imei) == Some(DeviceClass::Smartphone))
+    }
+
+    /// Number of whole weeks in the detailed window (averaging denominator).
+    pub fn detail_weeks(&self) -> f64 {
+        (self.window.detailed().num_whole_weeks() as f64).max(1.0)
+    }
+
+    /// Number of days in the detailed window.
+    pub fn detail_days(&self) -> f64 {
+        (self.window.detailed().num_days() as f64).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wearscope_simtime::SimTime;
+    use wearscope_trace::{MmeEvent, MmeRecord, Scheme};
+
+    fn proxy(user: u64, imei: u64, host: &str, t: u64) -> ProxyRecord {
+        ProxyRecord {
+            timestamp: SimTime::from_secs(t),
+            user: UserId(user),
+            imei,
+            host: host.into(),
+            scheme: Scheme::Https,
+            bytes_down: 1000,
+            bytes_up: 100,
+        }
+    }
+
+    #[test]
+    fn indexes_devices_and_owners() {
+        let db = DeviceDb::standard();
+        let catalog = AppCatalog::standard();
+        let sectors = SectorDirectory::new();
+        let w_imei = db.example_imei(db.wearable_tacs()[0], 1).as_u64();
+        let p_tac = db.tacs_of_class(DeviceClass::Smartphone)[0];
+        let p_imei = db.example_imei(p_tac, 2).as_u64();
+        let store = TraceStore::from_records(
+            vec![
+                proxy(1, w_imei, "api.weather.com", 10),
+                proxy(1, p_imei, "m.popular-video.example", 20),
+                proxy(2, p_imei, "m.popular-video.example", 30),
+            ],
+            vec![MmeRecord {
+                timestamp: SimTime::from_secs(5),
+                user: UserId(3),
+                imei: w_imei,
+                event: MmeEvent::Attach,
+                sector: 0,
+            }],
+        );
+        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, ObservationWindow::compact());
+        assert_eq!(ctx.device_class(w_imei), Some(DeviceClass::CellularWearable));
+        assert_eq!(ctx.device_class(p_imei), Some(DeviceClass::Smartphone));
+        assert_eq!(ctx.device_class(42), None);
+        assert_eq!(ctx.all_users().len(), 3);
+        assert!(ctx.owners().contains(&UserId(1)));
+        assert!(ctx.owners().contains(&UserId(3))); // seen via MME
+        assert!(!ctx.owners().contains(&UserId(2)));
+        assert_eq!(ctx.wearable_proxy().count(), 1);
+        assert_eq!(ctx.phone_proxy().count(), 2);
+    }
+
+    #[test]
+    fn empty_store_is_fine() {
+        let db = DeviceDb::standard();
+        let catalog = AppCatalog::standard();
+        let sectors = SectorDirectory::new();
+        let store = TraceStore::new();
+        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, ObservationWindow::compact());
+        assert!(ctx.owners().is_empty());
+        assert!(ctx.all_users().is_empty());
+        assert_eq!(ctx.wearable_proxy().count(), 0);
+    }
+}

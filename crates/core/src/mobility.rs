@@ -1,0 +1,487 @@
+//! User mobility analysis (Sec. 4.4, Fig. 4(c,d)).
+
+use std::collections::{HashMap, HashSet};
+
+use wearscope_geo::SectorId;
+use wearscope_simtime::{SimTime, SECS_PER_DAY};
+use wearscope_trace::{MmeEvent, UserId};
+
+use crate::activity::UserActivity;
+use crate::context::StudyContext;
+use crate::stats::{self, Ecdf};
+
+/// Per-user mobility aggregates derived from the MME log.
+#[derive(Clone, Debug, Default)]
+pub struct UserMobility {
+    /// Max displacement (km) per observed day.
+    pub daily_max_displacement_km: Vec<f64>,
+    /// Total attached dwell time (s) per sector over the whole window.
+    pub dwell_by_sector: HashMap<u32, u64>,
+}
+
+impl UserMobility {
+    /// Mean daily max displacement (km) over observed days.
+    pub fn mean_daily_displacement(&self) -> f64 {
+        if self.daily_max_displacement_km.is_empty() {
+            0.0
+        } else {
+            self.daily_max_displacement_km.iter().sum::<f64>()
+                / self.daily_max_displacement_km.len() as f64
+        }
+    }
+
+    /// Time-weighted Shannon entropy (nats) of visited sectors — the paper's
+    /// "entropy of visited location normalized by the time a user stays in a
+    /// single location".
+    pub fn location_entropy(&self) -> f64 {
+        let weights: Vec<f64> = self.dwell_by_sector.values().map(|&d| d as f64).collect();
+        stats::shannon_entropy(&weights)
+    }
+
+    /// Number of distinct sectors ever visited.
+    pub fn distinct_sectors(&self) -> usize {
+        self.dwell_by_sector.len()
+    }
+}
+
+/// The mobility index: one pass over the MME log producing per-user
+/// aggregates. Dwell times are accumulated between consecutive events of the
+/// same device; a detach closes the current dwell; a still-attached device
+/// is closed at the end of the detailed window.
+#[derive(Clone, Debug, Default)]
+pub struct MobilityIndex {
+    /// Per-user aggregates.
+    pub per_user: HashMap<UserId, UserMobility>,
+}
+
+impl MobilityIndex {
+    /// Builds the index from the study context's MME log.
+    pub fn build(ctx: &StudyContext<'_>) -> MobilityIndex {
+        // Per (user, imei): current attachment (sector, since).
+        let mut current: HashMap<(UserId, u64), (u32, SimTime)> = HashMap::new();
+        // Per (user, day): distinct sectors touched.
+        let mut day_sectors: HashMap<(UserId, u64), HashSet<u32>> = HashMap::new();
+        let mut per_user: HashMap<UserId, UserMobility> = HashMap::new();
+
+        let close = |per_user: &mut HashMap<UserId, UserMobility>,
+                         user: UserId,
+                         sector: u32,
+                         since: SimTime,
+                         until: SimTime| {
+            let dwell = until.saturating_since(since).as_secs();
+            if dwell > 0 {
+                *per_user
+                    .entry(user)
+                    .or_default()
+                    .dwell_by_sector
+                    .entry(sector)
+                    .or_default() += dwell;
+            }
+        };
+
+        for r in ctx.store.mme() {
+            let key = (r.user, r.imei);
+            match r.event {
+                MmeEvent::Attach | MmeEvent::SectorUpdate => {
+                    if let Some((sector, since)) = current.insert(key, (r.sector, r.timestamp)) {
+                        close(&mut per_user, r.user, sector, since, r.timestamp);
+                    }
+                    day_sectors
+                        .entry((r.user, r.timestamp.day_index()))
+                        .or_default()
+                        .insert(r.sector);
+                }
+                MmeEvent::Detach => {
+                    if let Some((sector, since)) = current.remove(&key) {
+                        close(&mut per_user, r.user, sector, since, r.timestamp);
+                    }
+                }
+            }
+        }
+        // Close devices still attached at the end of the window.
+        let end = ctx.window.detailed().end();
+        for ((user, _), (sector, since)) in current {
+            close(&mut per_user, user, sector, since, end);
+        }
+
+        // Daily max displacement, filled in (user, day) order so per-user
+        // float reductions downstream are run-to-run stable.
+        let mut days: Vec<((UserId, u64), HashSet<u32>)> = day_sectors.into_iter().collect();
+        days.sort_by_key(|(key, _)| *key);
+        for ((user, _day), sectors) in days {
+            let mut ids: Vec<SectorId> = sectors.into_iter().map(SectorId).collect();
+            ids.sort();
+            let km = ctx.sectors.max_displacement_km(&ids);
+            per_user
+                .entry(user)
+                .or_default()
+                .daily_max_displacement_km
+                .push(km);
+        }
+        MobilityIndex { per_user }
+    }
+}
+
+/// Fig. 4(c): max-displacement comparison between wearable users and the
+/// remaining customers, plus the entropy takeaway.
+#[derive(Clone, Debug)]
+pub struct Displacement {
+    /// Per-owner mean daily max displacement (km).
+    pub owners: Ecdf,
+    /// Per-user mean daily max displacement for the remaining customers.
+    pub rest: Ecdf,
+    /// All customers together (the paper's "all users" curve).
+    pub all: Ecdf,
+    /// Mean for owners (paper: ≈ 31 km vs 16; ≈ 20 km/day overall text).
+    pub owner_mean_km: f64,
+    /// Mean for the remaining customers.
+    pub rest_mean_km: f64,
+    /// Fraction of owners moving less than 30 km (paper: 90 %).
+    pub owners_under_30km: f64,
+    /// Mean over owners excluding fully stationary ones.
+    pub owner_nonstationary_mean_km: f64,
+    /// Mean over the rest excluding fully stationary ones.
+    pub rest_nonstationary_mean_km: f64,
+}
+
+impl Displacement {
+    /// Computes displacement statistics from the mobility index.
+    pub fn compute(ctx: &StudyContext<'_>, index: &MobilityIndex) -> Displacement {
+        let mut owners = Vec::new();
+        let mut rest = Vec::new();
+        for (user, m) in &index.per_user {
+            let v = m.mean_daily_displacement();
+            if ctx.owners().contains(user) {
+                owners.push(v);
+            } else {
+                rest.push(v);
+            }
+        }
+        let all = Ecdf::from_samples(owners.iter().chain(&rest).copied().collect());
+        let nonstationary_mean = |xs: &[f64]| {
+            let nz: Vec<f64> = xs.iter().copied().filter(|&x| x > 0.0).collect();
+            if nz.is_empty() {
+                0.0
+            } else {
+                nz.iter().sum::<f64>() / nz.len() as f64
+            }
+        };
+        let owners_e = Ecdf::from_samples(owners.clone());
+        let rest_e = Ecdf::from_samples(rest.clone());
+        Displacement {
+            owner_mean_km: owners_e.mean(),
+            rest_mean_km: rest_e.mean(),
+            owners_under_30km: owners_e.fraction_below(30.0),
+            owner_nonstationary_mean_km: nonstationary_mean(&owners),
+            rest_nonstationary_mean_km: nonstationary_mean(&rest),
+            owners: owners_e,
+            rest: rest_e,
+            all,
+        }
+    }
+}
+
+/// The Sec. 4.4 location-entropy comparison (paper: owners ≈ 70 % higher).
+#[derive(Clone, Debug)]
+pub struct LocationEntropy {
+    /// Per-owner entropy (nats).
+    pub owners: Ecdf,
+    /// Per-user entropy for the remaining customers.
+    pub rest: Ecdf,
+    /// `mean(owners) / mean(rest)` (paper: ≈ 1.7).
+    pub ratio: f64,
+}
+
+impl LocationEntropy {
+    /// Computes entropy statistics from the mobility index.
+    pub fn compute(ctx: &StudyContext<'_>, index: &MobilityIndex) -> LocationEntropy {
+        let mut owners = Vec::new();
+        let mut rest = Vec::new();
+        for (user, m) in &index.per_user {
+            let h = m.location_entropy();
+            if ctx.owners().contains(user) {
+                owners.push(h);
+            } else {
+                rest.push(h);
+            }
+        }
+        let owners = Ecdf::from_samples(owners);
+        let rest = Ecdf::from_samples(rest);
+        let ratio = if rest.mean() > 0.0 {
+            owners.mean() / rest.mean()
+        } else {
+            0.0
+        };
+        LocationEntropy { owners, rest, ratio }
+    }
+}
+
+/// Fig. 4(d): displacement vs hourly activity, plus the single-location
+/// takeaway (60 % of data-active users transact from one location).
+#[derive(Clone, Debug)]
+pub struct MobilityActivity {
+    /// `(mean daily max displacement km, tx per active hour)` per owner.
+    pub points: Vec<(f64, f64)>,
+    /// Pearson correlation (paper: clearly positive).
+    pub pearson: f64,
+    /// Spearman rank correlation.
+    pub spearman: f64,
+    /// Share of data-active owners whose wearable transactions all come
+    /// from a single sector (paper: 60 %).
+    pub single_location_share: f64,
+}
+
+impl MobilityActivity {
+    /// Joins mobility with activity and attributes each wearable
+    /// transaction to the sector the user was attached to at that instant.
+    pub fn compute(
+        ctx: &StudyContext<'_>,
+        index: &MobilityIndex,
+        activity: &HashMap<UserId, UserActivity>,
+    ) -> MobilityActivity {
+        // Sorted by user id so float reductions are run-to-run stable.
+        let mut entries: Vec<(&UserId, &UserActivity)> = activity.iter().collect();
+        entries.sort_by_key(|(u, _)| **u);
+        let points: Vec<(f64, f64)> = entries
+            .iter()
+            .filter_map(|(user, a)| {
+                let m = index.per_user.get(user)?;
+                Some((m.mean_daily_displacement(), a.tx_per_active_hour()))
+            })
+            .collect();
+        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+
+        // Sector timeline per (user, imei) for transaction attribution.
+        let mut timeline: HashMap<(UserId, u64), Vec<(SimTime, u32)>> = HashMap::new();
+        for r in ctx.store.mme() {
+            if matches!(r.event, MmeEvent::Attach | MmeEvent::SectorUpdate) {
+                timeline.entry((r.user, r.imei)).or_default().push((r.timestamp, r.sector));
+            }
+        }
+        let mut tx_sectors: HashMap<UserId, HashSet<u32>> = HashMap::new();
+        for r in ctx.wearable_proxy() {
+            if let Some(tl) = timeline.get(&(r.user, r.imei)) {
+                let idx = tl.partition_point(|&(t, _)| t <= r.timestamp);
+                if idx > 0 {
+                    // Only attribute within the same day: wearables detach
+                    // nightly, so a cross-day carry-over would be stale.
+                    let (t, sector) = tl[idx - 1];
+                    if t.day_index() == r.timestamp.day_index() {
+                        tx_sectors.entry(r.user).or_default().insert(sector);
+                    }
+                }
+            }
+        }
+        let with_sectors = tx_sectors.values().filter(|s| !s.is_empty()).count();
+        let single = tx_sectors.values().filter(|s| s.len() == 1).count();
+        MobilityActivity {
+            pearson: stats::pearson(&xs, &ys),
+            spearman: stats::spearman(&xs, &ys),
+            points,
+            single_location_share: if with_sectors == 0 {
+                0.0
+            } else {
+                single as f64 / with_sectors as f64
+            },
+        }
+    }
+}
+
+/// Splits dwell seconds that cross midnight (utility for per-day views;
+/// exposed for the report crate's daily entropy ablation).
+pub fn split_dwell_by_day(since: SimTime, until: SimTime) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut cur = since;
+    while cur < until {
+        let day = cur.day_index();
+        let day_end = SimTime::from_secs((day + 1) * SECS_PER_DAY);
+        let end = day_end.min(until);
+        out.push((day, (end - cur).as_secs()));
+        cur = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wearscope_appdb::AppCatalog;
+    use wearscope_devicedb::{DeviceClass, DeviceDb};
+    use wearscope_geo::{GeoPoint, SectorDirectory};
+    use wearscope_simtime::{Calendar, ObservationWindow};
+    use wearscope_trace::{MmeRecord, ProxyRecord, Scheme, TraceStore};
+
+    /// Three sectors: 0 and 1 are ~11 km apart; 2 is ~100 km away.
+    fn sectors() -> SectorDirectory {
+        let mut d = SectorDirectory::new();
+        d.push(GeoPoint::new(40.0, -3.0), None);
+        d.push(GeoPoint::new(40.1, -3.0), None);
+        d.push(GeoPoint::new(40.9, -3.0), None);
+        d
+    }
+
+    fn mme(user: u64, imei: u64, t: u64, event: MmeEvent, sector: u32) -> MmeRecord {
+        MmeRecord {
+            timestamp: SimTime::from_secs(t),
+            user: UserId(user),
+            imei,
+            event,
+            sector,
+        }
+    }
+
+    fn ptx(user: u64, imei: u64, t: u64) -> ProxyRecord {
+        ProxyRecord {
+            timestamp: SimTime::from_secs(t),
+            user: UserId(user),
+            imei,
+            host: "api.weather.com".into(),
+            scheme: Scheme::Https,
+            bytes_down: 1000,
+            bytes_up: 0,
+        }
+    }
+
+    fn window() -> ObservationWindow {
+        ObservationWindow::new(14, 14, Calendar::PAPER)
+    }
+
+    #[test]
+    fn displacement_from_day_sectors() {
+        let db = DeviceDb::standard();
+        let w = db.example_imei(db.wearable_tacs()[0], 1).as_u64();
+        let p = db.example_imei(db.tacs_of_class(DeviceClass::Smartphone)[0], 2).as_u64();
+        let h = 3600;
+        let store = TraceStore::from_records(
+            vec![],
+            vec![
+                // Owner commutes 0 → 1 (≈ 11 km).
+                mme(1, w, 6 * h, MmeEvent::Attach, 0),
+                mme(1, w, 8 * h, MmeEvent::SectorUpdate, 1),
+                mme(1, w, 18 * h, MmeEvent::SectorUpdate, 0),
+                mme(1, w, 23 * h, MmeEvent::Detach, 0),
+                // Rest user stays put.
+                mme(2, p, 6 * h, MmeEvent::Attach, 2),
+                mme(2, p, 23 * h, MmeEvent::Detach, 2),
+            ],
+        );
+        let sectors = sectors();
+        let (dbr, catalog) = (db, AppCatalog::standard());
+        let ctx = StudyContext::new(&store, &dbr, &sectors, &catalog, window());
+        let index = MobilityIndex::build(&ctx);
+        let disp = Displacement::compute(&ctx, &index);
+        assert_eq!(disp.owners.len(), 1);
+        assert_eq!(disp.rest.len(), 1);
+        assert!((disp.owner_mean_km - 11.1).abs() < 0.3, "{}", disp.owner_mean_km);
+        assert_eq!(disp.rest_mean_km, 0.0);
+        assert_eq!(disp.rest_nonstationary_mean_km, 0.0);
+        assert!(disp.owner_nonstationary_mean_km > 10.0);
+    }
+
+    #[test]
+    fn entropy_time_weighted() {
+        let db = DeviceDb::standard();
+        let w = db.example_imei(db.wearable_tacs()[0], 1).as_u64();
+        let p = db.example_imei(db.tacs_of_class(DeviceClass::Smartphone)[0], 2).as_u64();
+        let h = 3600;
+        let store = TraceStore::from_records(
+            vec![],
+            vec![
+                // Owner: 6 h in sector 0, 6 h in sector 1 → H = ln 2.
+                mme(1, w, 0, MmeEvent::Attach, 0),
+                mme(1, w, 6 * h, MmeEvent::SectorUpdate, 1),
+                mme(1, w, 12 * h, MmeEvent::Detach, 1),
+                // Rest: all day in one sector → H = 0.
+                mme(2, p, 0, MmeEvent::Attach, 2),
+                mme(2, p, 12 * h, MmeEvent::Detach, 2),
+            ],
+        );
+        let sectors = sectors();
+        let catalog = AppCatalog::standard();
+        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, window());
+        let index = MobilityIndex::build(&ctx);
+        let owner = &index.per_user[&UserId(1)];
+        assert!((owner.location_entropy() - std::f64::consts::LN_2).abs() < 1e-9);
+        let rest = &index.per_user[&UserId(2)];
+        assert_eq!(rest.location_entropy(), 0.0);
+        let ent = LocationEntropy::compute(&ctx, &index);
+        assert_eq!(ent.ratio, 0.0); // rest mean is zero → ratio degenerate
+        assert_eq!(ent.owners.len(), 1);
+    }
+
+    #[test]
+    fn attached_at_window_end_is_closed() {
+        let db = DeviceDb::standard();
+        let w = db.example_imei(db.wearable_tacs()[0], 1).as_u64();
+        let store = TraceStore::from_records(
+            vec![],
+            vec![mme(1, w, 0, MmeEvent::Attach, 0)],
+        );
+        let sectors = sectors();
+        let catalog = AppCatalog::standard();
+        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, window());
+        let index = MobilityIndex::build(&ctx);
+        let dwell: u64 = index.per_user[&UserId(1)].dwell_by_sector.values().sum();
+        assert_eq!(dwell, 14 * SECS_PER_DAY);
+    }
+
+    #[test]
+    fn single_location_share_and_attribution() {
+        let db = DeviceDb::standard();
+        let w1 = db.example_imei(db.wearable_tacs()[0], 1).as_u64();
+        let w2 = db.example_imei(db.wearable_tacs()[0], 2).as_u64();
+        let h = 3600;
+        let store = TraceStore::from_records(
+            vec![
+                // User 1 transacts at 7h (sector 0) and 12h (sector 1).
+                ptx(1, w1, 7 * h),
+                ptx(1, w1, 12 * h),
+                // User 2 transacts twice, both at sector 2.
+                ptx(2, w2, 7 * h),
+                ptx(2, w2, 20 * h),
+            ],
+            vec![
+                mme(1, w1, 6 * h, MmeEvent::Attach, 0),
+                mme(1, w1, 9 * h, MmeEvent::SectorUpdate, 1),
+                mme(2, w2, 6 * h, MmeEvent::Attach, 2),
+            ],
+        );
+        let sectors = sectors();
+        let catalog = AppCatalog::standard();
+        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, window());
+        let index = MobilityIndex::build(&ctx);
+        let activity = crate::activity::user_activity(&ctx);
+        let ma = MobilityActivity::compute(&ctx, &index, &activity);
+        assert!((ma.single_location_share - 0.5).abs() < 1e-9);
+        assert_eq!(ma.points.len(), 2);
+    }
+
+    #[test]
+    fn attribution_does_not_leak_across_days() {
+        let db = DeviceDb::standard();
+        let w = db.example_imei(db.wearable_tacs()[0], 1).as_u64();
+        // MME sighting on day 0, transaction on day 1 → unattributed.
+        let store = TraceStore::from_records(
+            vec![ptx(1, w, SECS_PER_DAY + 3600)],
+            vec![mme(1, w, 3600, MmeEvent::Attach, 0)],
+        );
+        let sectors = sectors();
+        let catalog = AppCatalog::standard();
+        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, window());
+        let index = MobilityIndex::build(&ctx);
+        let activity = crate::activity::user_activity(&ctx);
+        let ma = MobilityActivity::compute(&ctx, &index, &activity);
+        assert_eq!(ma.single_location_share, 0.0);
+    }
+
+    #[test]
+    fn dwell_split_across_midnight() {
+        let parts = split_dwell_by_day(
+            SimTime::from_secs(SECS_PER_DAY - 100),
+            SimTime::from_secs(SECS_PER_DAY + 50),
+        );
+        assert_eq!(parts, vec![(0, 100), (1, 50)]);
+        assert!(split_dwell_by_day(SimTime::from_secs(5), SimTime::from_secs(5)).is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! The paper's headline numbers, gathered in one struct.
+//!
+//! [`Takeaways::compute`] runs the full pipeline and extracts every scalar
+//! the paper states in its abstract, takeaway boxes, and conclusion. The
+//! EXPERIMENTS harness prints these side by side with the paper's values.
+
+use wearscope_mobilenet::NetworkSummaries;
+
+use crate::activity::{self, ActivityCorrelation, ActivitySpans, TransactionStats};
+use crate::adoption::{AdoptionTrend, CohortRetention, DataActiveShare};
+use crate::apps::InstallStats;
+use crate::compare::{self, OwnerVsRest, WearableShare};
+use crate::context::StudyContext;
+use crate::mobility::{Displacement, LocationEntropy, MobilityActivity, MobilityIndex};
+use crate::sessions;
+use crate::devices::DeviceMix;
+use crate::thirdparty::DomainBreakdown;
+use crate::through_device::ThroughDeviceReport;
+use crate::weekly::WeeklyPattern;
+
+/// Every headline scalar in the paper, measured from the logs.
+#[derive(Clone, Debug)]
+pub struct Takeaways {
+    /// Sec. 4.1: monthly adoption growth (paper 0.015).
+    pub monthly_growth: f64,
+    /// Sec. 4.1: total growth over the window (paper 0.09).
+    pub total_growth: f64,
+    /// Sec. 4.1: share of registered users ever transacting (paper 0.34).
+    pub data_active_share: f64,
+    /// Fig. 2(b): first-week cohort still active in the last week (paper 0.77).
+    pub cohort_active: f64,
+    /// Fig. 2(b): first-week cohort gone (paper 0.07).
+    pub cohort_gone: f64,
+    /// Sec. 4.2: daily active share of weekly actives (paper ≈ 0.35).
+    pub daily_active_share: f64,
+    /// Sec. 4.3: mean active days per week (paper ≈ 1).
+    pub mean_active_days_per_week: f64,
+    /// Sec. 4.3: mean active hours per day (paper ≈ 3).
+    pub mean_active_hours_per_day: f64,
+    /// Sec. 4.3: users active > 10 h/day (paper 0.07).
+    pub frac_over_10h: f64,
+    /// Sec. 4.3: users active < 5 h/day (paper 0.80).
+    pub frac_under_5h: f64,
+    /// Fig. 3(c): median transaction size in bytes (paper ≈ 3 KB).
+    pub median_tx_bytes: f64,
+    /// Fig. 3(c): transactions under 10 KB (paper 0.80).
+    pub frac_tx_under_10kb: f64,
+    /// Fig. 3(d): activity-span ↔ tx-rate correlation (paper: positive).
+    pub activity_correlation: f64,
+    /// Fig. 4(a): owners vs rest bytes ratio (paper 1.26).
+    pub owner_bytes_ratio: f64,
+    /// Fig. 4(a): owners vs rest transaction ratio (paper 1.48).
+    pub owner_tx_ratio: f64,
+    /// Fig. 4(b): mean wearable share of owner traffic (paper ~10⁻³).
+    pub wearable_traffic_share: f64,
+    /// Fig. 4(b): owners with ≥ 3 % wearable share (paper 0.10).
+    pub frac_owners_over_3pct: f64,
+    /// Sec. 4.4: owner mean daily max displacement, km (paper ≈ 20–31).
+    pub owner_displacement_km: f64,
+    /// Sec. 4.4: rest mean daily max displacement, km (paper ≈ 16).
+    pub rest_displacement_km: f64,
+    /// Sec. 4.4: owners under 30 km (paper 0.90).
+    pub owners_under_30km: f64,
+    /// Sec. 4.4: entropy ratio owners/rest (paper ≈ 1.7).
+    pub entropy_ratio: f64,
+    /// Sec. 4.4: displacement ↔ tx-rate correlation (paper: positive).
+    pub mobility_correlation: f64,
+    /// Sec. 4.4: data-active users transacting from one location (paper 0.60).
+    pub single_location_share: f64,
+    /// Sec. 4.3: mean apps per user (paper 8).
+    pub mean_apps_per_user: f64,
+    /// Sec. 4.3: users with < 20 apps (paper 0.90).
+    pub frac_under_20_apps: f64,
+    /// Sec. 4.3: single-app user-days (paper 0.93).
+    pub single_app_day_share: f64,
+    /// Sec. 5.2: third-party data within one order of magnitude of
+    /// first-party (paper: yes).
+    pub thirdparty_same_magnitude: bool,
+    /// Sec. 6: identified Through-Device users.
+    pub through_device_identified: usize,
+    /// Sec. 6: identified users' mobility within 50 % of SIM users (paper:
+    /// "similar macroscopic behaviour").
+    pub through_device_mobility_similar: bool,
+    /// Sec. 4.2: wearable weekend traffic share relative to the overall
+    /// population's (paper: slightly above 1).
+    pub weekend_relative_usage: f64,
+    /// Sec. 4.1: share of wearable users on Samsung or LG watches (paper:
+    /// "most users").
+    pub samsung_lg_share: f64,
+}
+
+impl Takeaways {
+    /// Runs the full pipeline.
+    pub fn compute(ctx: &StudyContext<'_>, summaries: &NetworkSummaries) -> Takeaways {
+        let trend = AdoptionTrend::compute(&summaries.mme, &ctx.window);
+        let retention = CohortRetention::compute(&summaries.mme, &ctx.window);
+        let data_active =
+            DataActiveShare::compute(&summaries.mme, &summaries.wearable_traffic, &ctx.window);
+
+        let activity_map = activity::user_activity(ctx);
+        let spans = ActivitySpans::compute(ctx, &activity_map);
+        let tx_stats = TransactionStats::compute(ctx, &activity_map);
+        let corr = ActivityCorrelation::compute(&activity_map);
+        let daily_share = activity::daily_active_share(ctx);
+
+        let traffic = compare::user_traffic(ctx);
+        let owner_vs_rest = OwnerVsRest::compute(ctx, &traffic);
+        let wearable_share = WearableShare::compute(ctx, &traffic);
+
+        let mobility = MobilityIndex::build(ctx);
+        let displacement = Displacement::compute(ctx, &mobility);
+        let entropy = LocationEntropy::compute(ctx, &mobility);
+        let mob_act = MobilityActivity::compute(ctx, &mobility, &activity_map);
+
+        let attributed = sessions::attribute_transactions(ctx);
+        let installs = InstallStats::compute(&attributed);
+        let breakdown = DomainBreakdown::compute(ctx);
+
+        let through = ThroughDeviceReport::compute(ctx, &mobility);
+        let weekly = WeeklyPattern::compute(ctx);
+        let devices = DeviceMix::compute(ctx);
+
+        Takeaways {
+            monthly_growth: trend.monthly_growth_rate,
+            total_growth: trend.total_growth,
+            data_active_share: data_active.share,
+            cohort_active: retention.active_fraction,
+            cohort_gone: retention.gone_fraction,
+            daily_active_share: daily_share,
+            mean_active_days_per_week: spans.mean_days_per_week,
+            mean_active_hours_per_day: spans.mean_hours_per_day,
+            frac_over_10h: spans.frac_over_10h,
+            frac_under_5h: spans.frac_under_5h,
+            median_tx_bytes: tx_stats.median_bytes,
+            frac_tx_under_10kb: tx_stats.frac_under_10kb,
+            activity_correlation: corr.pearson,
+            owner_bytes_ratio: owner_vs_rest.bytes_ratio,
+            owner_tx_ratio: owner_vs_rest.tx_ratio,
+            wearable_traffic_share: wearable_share.mean_ratio,
+            frac_owners_over_3pct: wearable_share.frac_over_3pct,
+            owner_displacement_km: displacement.owner_mean_km,
+            rest_displacement_km: displacement.rest_mean_km,
+            owners_under_30km: displacement.owners_under_30km,
+            entropy_ratio: entropy.ratio,
+            mobility_correlation: mob_act.pearson,
+            single_location_share: mob_act.single_location_share,
+            mean_apps_per_user: installs.mean_apps_per_user,
+            frac_under_20_apps: installs.frac_under_20,
+            single_app_day_share: installs.single_app_day_share,
+            thirdparty_same_magnitude: breakdown.thirdparty_within_order_of_magnitude(),
+            through_device_identified: through.users.len(),
+            through_device_mobility_similar: through.mobility_similar_to_sim_users(0.5),
+            weekend_relative_usage: weekly.weekend_relative_usage,
+            samsung_lg_share: devices.manufacturer_share(&["Samsung", "LG"]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wearscope_appdb::AppCatalog;
+    use wearscope_devicedb::DeviceDb;
+    use wearscope_geo::SectorDirectory;
+    use wearscope_simtime::ObservationWindow;
+    use wearscope_trace::TraceStore;
+
+    #[test]
+    fn empty_world_computes_without_panicking() {
+        let db = DeviceDb::standard();
+        let catalog = AppCatalog::standard();
+        let sectors = SectorDirectory::new();
+        let store = TraceStore::new();
+        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, ObservationWindow::compact());
+        let t = Takeaways::compute(&ctx, &NetworkSummaries::default());
+        assert_eq!(t.data_active_share, 0.0);
+        assert_eq!(t.median_tx_bytes, 0.0);
+        assert_eq!(t.through_device_identified, 0);
+        assert!(!t.thirdparty_same_magnitude);
+        assert_eq!(t.samsung_lg_share, 0.0);
+    }
+}

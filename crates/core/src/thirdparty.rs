@@ -1,0 +1,221 @@
+//! Third-party transaction analysis (Sec. 5.2, Fig. 8).
+
+use std::collections::{HashMap, HashSet};
+
+use wearscope_appdb::DomainClass;
+use wearscope_trace::UserId;
+
+use crate::context::StudyContext;
+
+/// Fig. 8: per domain class (Application / Utilities / Advertising /
+/// Analytics), the share of daily users, transaction frequency, and data.
+#[derive(Clone, Debug)]
+pub struct DomainBreakdown {
+    /// Share of (day, user) pairs touching each class.
+    pub users: [f64; 4],
+    /// Share of transactions per class.
+    pub frequency: [f64; 4],
+    /// Share of bytes per class.
+    pub data: [f64; 4],
+    /// Transactions that matched no signature at all (diagnostic; excluded
+    /// from the shares, mirroring the paper's signature-based method).
+    pub unclassified_transactions: u64,
+}
+
+impl DomainBreakdown {
+    /// Computes the breakdown over the wearable proxy log.
+    pub fn compute(ctx: &StudyContext<'_>) -> DomainBreakdown {
+        let mut day_users: [HashSet<(u64, UserId)>; 4] = Default::default();
+        let mut tx = [0u64; 4];
+        let mut bytes = [0u64; 4];
+        let mut unclassified = 0u64;
+        for r in ctx.wearable_proxy() {
+            match ctx.classifier.classify(&r.host) {
+                Some(c) => {
+                    let i = c.domain_class().index();
+                    day_users[i].insert((r.timestamp.day_index(), r.user));
+                    tx[i] += 1;
+                    bytes[i] += r.bytes_total();
+                }
+                None => unclassified += 1,
+            }
+        }
+        let share = |xs: [f64; 4]| -> [f64; 4] {
+            let total: f64 = xs.iter().sum::<f64>().max(1e-12);
+            [xs[0] / total, xs[1] / total, xs[2] / total, xs[3] / total]
+        };
+        DomainBreakdown {
+            users: share([
+                day_users[0].len() as f64,
+                day_users[1].len() as f64,
+                day_users[2].len() as f64,
+                day_users[3].len() as f64,
+            ]),
+            frequency: share([tx[0] as f64, tx[1] as f64, tx[2] as f64, tx[3] as f64]),
+            data: share([
+                bytes[0] as f64,
+                bytes[1] as f64,
+                bytes[2] as f64,
+                bytes[3] as f64,
+            ]),
+            unclassified_transactions: unclassified,
+        }
+    }
+
+    /// Value for one class of one metric.
+    pub fn metric(&self, metric: &[f64; 4], class: DomainClass) -> f64 {
+        metric[class.index()]
+    }
+
+    /// The paper's headline check: third-party (ads + analytics) data volume
+    /// within one order of magnitude of first-party volume.
+    pub fn thirdparty_within_order_of_magnitude(&self) -> bool {
+        let app = self.data[DomainClass::Application.index()].max(1e-12);
+        let ads = self.data[DomainClass::Advertising.index()];
+        let analytics = self.data[DomainClass::Analytics.index()];
+        let third = ads + analytics;
+        third > 0.0 && app / third < 10.0
+    }
+}
+
+/// Per-app third-party mixes (an extension beyond Fig. 8 used by the
+/// ablation benches): which apps drive each class.
+#[derive(Clone, Debug, Default)]
+pub struct PerAppDomainMix {
+    /// Per app name: bytes per domain class.
+    pub by_app: HashMap<String, [u64; 4]>,
+}
+
+impl PerAppDomainMix {
+    /// Computes per-app class byte mixes using timeframe attribution.
+    pub fn compute(ctx: &StudyContext<'_>) -> PerAppDomainMix {
+        let attributed = crate::sessions::attribute_transactions(ctx);
+        // Re-classify each attributed transaction's bytes under its class.
+        // `attribute_transactions` drops host info, so walk the log again in
+        // parallel: both are in (user, time) order for wearable records.
+        let mut class_by_key: HashMap<(UserId, u64, u64), usize> = HashMap::new();
+        for r in ctx.wearable_proxy() {
+            if let Some(c) = ctx.classifier.classify(&r.host) {
+                class_by_key
+                    .entry((r.user, r.timestamp.as_secs(), r.bytes_total()))
+                    .or_insert(c.domain_class().index());
+            }
+        }
+        let mut by_app: HashMap<String, [u64; 4]> = HashMap::new();
+        for tx in &attributed {
+            let Some(app) = tx.app else { continue };
+            let Some(&i) = class_by_key.get(&(tx.user, tx.timestamp.as_secs(), tx.bytes)) else {
+                continue;
+            };
+            let name = ctx
+                .catalog
+                .get(app)
+                .map(|a| a.name.to_string())
+                .unwrap_or_else(|| format!("app#{}", app.0));
+            by_app.entry(name).or_default()[i] += tx.bytes;
+        }
+        PerAppDomainMix { by_app }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wearscope_appdb::AppCatalog;
+    use wearscope_devicedb::DeviceDb;
+    use wearscope_geo::SectorDirectory;
+    use wearscope_simtime::{Calendar, ObservationWindow, SimTime};
+    use wearscope_trace::{ProxyRecord, Scheme, TraceStore};
+
+    fn rec(db: &DeviceDb, user: u64, t: u64, host: &str, bytes: u64) -> ProxyRecord {
+        ProxyRecord {
+            timestamp: SimTime::from_secs(t),
+            user: UserId(user),
+            imei: db.example_imei(db.wearable_tacs()[0], user as u32).as_u64(),
+            host: host.into(),
+            scheme: Scheme::Https,
+            bytes_down: bytes,
+            bytes_up: 0,
+        }
+    }
+
+    #[test]
+    fn breakdown_shares() {
+        let db = DeviceDb::standard();
+        let catalog = AppCatalog::standard();
+        let sectors = SectorDirectory::new();
+        let store = TraceStore::from_records(
+            vec![
+                rec(&db, 1, 10, "api.weather.com", 6000),          // Application
+                rec(&db, 1, 20, "media.akamaized.net", 2000),      // Utilities
+                rec(&db, 1, 30, "ads.doubleclick.net", 1000),      // Advertising
+                rec(&db, 2, 40, "ssl.google-analytics.com", 1000), // Analytics
+                rec(&db, 2, 50, "unknown.nowhere.example", 500),   // unclassified
+            ],
+            vec![],
+        );
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::new(14, 14, Calendar::PAPER),
+        );
+        let b = DomainBreakdown::compute(&ctx);
+        assert_eq!(b.unclassified_transactions, 1);
+        assert!((b.frequency.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((b.data[0] - 0.6).abs() < 1e-9);
+        assert!((b.data[1] - 0.2).abs() < 1e-9);
+        assert!((b.data[2] - 0.1).abs() < 1e-9);
+        assert!((b.data[3] - 0.1).abs() < 1e-9);
+        // Third-party (0.2) within one order of magnitude of first (0.6).
+        assert!(b.thirdparty_within_order_of_magnitude());
+        assert_eq!(
+            b.metric(&b.data, DomainClass::Application),
+            b.data[0]
+        );
+    }
+
+    #[test]
+    fn per_app_mix_attributes_thirdparty_bytes() {
+        let db = DeviceDb::standard();
+        let catalog = AppCatalog::standard();
+        let sectors = SectorDirectory::new();
+        let store = TraceStore::from_records(
+            vec![
+                rec(&db, 1, 10, "api.weather.com", 6000),
+                rec(&db, 1, 20, "ads.doubleclick.net", 1000), // attributed to Weather
+            ],
+            vec![],
+        );
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::new(14, 14, Calendar::PAPER),
+        );
+        let mix = PerAppDomainMix::compute(&ctx);
+        let weather = &mix.by_app["Weather"];
+        assert_eq!(weather[0], 6000);
+        assert_eq!(weather[2], 1000);
+    }
+
+    #[test]
+    fn empty_is_all_zero_but_normalized_safely() {
+        let db = DeviceDb::standard();
+        let catalog = AppCatalog::standard();
+        let sectors = SectorDirectory::new();
+        let store = TraceStore::new();
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::new(14, 14, Calendar::PAPER),
+        );
+        let b = DomainBreakdown::compute(&ctx);
+        assert_eq!(b.unclassified_transactions, 0);
+        assert!(!b.thirdparty_within_order_of_magnitude());
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the analysis pipeline's invariants.
+
+use proptest::prelude::*;
+
+use wearscope_appdb::AppId;
+use wearscope_core::sessions::{sessionize, AttributedTx, SESSION_GAP_SECS};
+use wearscope_core::stats::{self, Ecdf};
+use wearscope_simtime::SimTime;
+use wearscope_trace::UserId;
+
+fn arb_attributed() -> impl Strategy<Value = Vec<AttributedTx>> {
+    prop::collection::vec(
+        (
+            0u64..5,          // user
+            0u64..200_000,    // time
+            prop::option::of(0u16..6), // app
+            any::<bool>(),
+            1u64..100_000, // bytes
+        ),
+        0..120,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(u, t, app, fp, bytes)| AttributedTx {
+                user: UserId(u),
+                timestamp: SimTime::from_secs(t),
+                app: app.map(AppId),
+                first_party: fp,
+                bytes,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Sessionization invariants: transactions and bytes are conserved for
+    /// attributed traffic; intra-session gaps < 60 s; sessions of the same
+    /// (user, app) are ≥ 60 s apart; start ≤ end.
+    #[test]
+    fn sessionize_invariants(txs in arb_attributed()) {
+        let sessions = sessionize(&txs);
+        let attributed_tx = txs.iter().filter(|t| t.app.is_some()).count() as u64;
+        let attributed_bytes: u64 = txs.iter().filter(|t| t.app.is_some()).map(|t| t.bytes).sum();
+        let session_tx: u64 = sessions.iter().map(|s| s.transactions).sum();
+        let session_bytes: u64 = sessions.iter().map(|s| s.bytes).sum();
+        prop_assert_eq!(session_tx, attributed_tx);
+        prop_assert_eq!(session_bytes, attributed_bytes);
+        for s in &sessions {
+            prop_assert!(s.start <= s.end);
+            prop_assert!(s.transactions >= 1);
+        }
+        // Per (user, app): consecutive sessions separated by ≥ gap.
+        use std::collections::HashMap;
+        let mut by_key: HashMap<(UserId, AppId), Vec<&wearscope_core::sessions::Session>> =
+            HashMap::new();
+        for s in &sessions {
+            by_key.entry((s.user, s.app)).or_default().push(s);
+        }
+        for group in by_key.values_mut() {
+            group.sort_by_key(|s| s.start);
+            for w in group.windows(2) {
+                let gap = (w[1].start - w[0].end).as_secs();
+                prop_assert!(
+                    gap >= SESSION_GAP_SECS,
+                    "sessions only {gap}s apart"
+                );
+            }
+        }
+    }
+
+    /// Ecdf laws: quantile is monotone in q, fraction_below monotone in x,
+    /// mean within [min, max], and fractions consistent with quantiles.
+    #[test]
+    fn ecdf_laws(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let e = Ecdf::from_samples(samples.clone());
+        prop_assert_eq!(e.len(), samples.len());
+        prop_assert!(e.mean() >= e.min() - 1e-9);
+        prop_assert!(e.mean() <= e.max() + 1e-9);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = e.quantile(i as f64 / 10.0);
+            prop_assert!(q >= prev);
+            prev = q;
+        }
+        prop_assert!(e.fraction_below(e.min()) == 0.0);
+        prop_assert!((e.fraction_at_or_below(e.max()) - 1.0).abs() < 1e-12);
+        // fraction_below is monotone.
+        let xs = [e.quantile(0.25), e.quantile(0.5), e.quantile(0.75)];
+        prop_assert!(e.fraction_below(xs[0]) <= e.fraction_below(xs[1]));
+        prop_assert!(e.fraction_below(xs[1]) <= e.fraction_below(xs[2]));
+    }
+
+    /// Entropy: bounded by ln(n), scale-invariant, maximal for uniform.
+    #[test]
+    fn entropy_laws(weights in prop::collection::vec(0.0f64..1e6, 1..30), scale in 0.1f64..1000.0) {
+        let h = stats::shannon_entropy(&weights);
+        let positive = weights.iter().filter(|w| **w > 0.0).count();
+        prop_assert!(h >= -1e-12);
+        if positive > 0 {
+            prop_assert!(h <= (positive as f64).ln() + 1e-9, "h {h} over ln({positive})");
+        }
+        let scaled: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let hs = stats::shannon_entropy(&scaled);
+        prop_assert!((h - hs).abs() < 1e-9, "scale variance: {h} vs {hs}");
+    }
+
+    /// Correlations live in [-1, 1] and are symmetric.
+    #[test]
+    fn correlation_bounds(
+        pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100),
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = stats::pearson(&xs, &ys);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r {r}");
+        prop_assert!((r - stats::pearson(&ys, &xs)).abs() < 1e-12);
+        let rho = stats::spearman(&xs, &ys);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho));
+        // Perfect self-correlation.
+        prop_assert!((stats::pearson(&xs, &xs) - 1.0).abs() < 1e-9 || xs.iter().all(|&x| x == xs[0]));
+    }
+
+    /// normalize_sum returns a distribution; normalize_max peaks at 1.
+    #[test]
+    fn normalization_laws(values in prop::collection::vec(0.0f64..1e9, 1..50)) {
+        let any_positive = values.iter().any(|v| *v > 0.0);
+        let ns = stats::normalize_sum(&values);
+        let nm = stats::normalize_max(&values);
+        if any_positive {
+            prop_assert!((ns.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            let max = nm.iter().cloned().fold(0.0_f64, f64::max);
+            prop_assert!((max - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert!(ns.iter().all(|v| *v == 0.0));
+        }
+        prop_assert!(ns.iter().all(|v| (0.0..=1.0 + 1e-12).contains(v)));
+    }
+
+    /// stable_sum equals the naive sum up to float tolerance and is exactly
+    /// permutation-invariant.
+    #[test]
+    fn stable_sum_permutation_invariant(values in prop::collection::vec(-1e9f64..1e9, 0..60)) {
+        let a = stats::stable_sum(values.clone());
+        let mut rev = values.clone();
+        rev.reverse();
+        prop_assert_eq!(a, stats::stable_sum(rev));
+        let naive: f64 = values.iter().sum();
+        prop_assert!((a - naive).abs() <= 1e-6 * naive.abs().max(1.0));
+    }
+}

@@ -1,0 +1,27 @@
+//! The operator *device database* vantage point.
+//!
+//! Section 3.2 of the paper identifies SIM-enabled wearables by (1) listing
+//! every SIM-enabled wearable model sold in the country, (2) resolving each
+//! model to its IMEI **TAC** ranges via the operator's device database, and
+//! (3) searching those TACs in the MME and proxy logs. This crate implements
+//! that machinery:
+//!
+//! * [`Imei`] — 15-digit IMEIs with structural validation and Luhn check
+//!   digits, stored as a compact `u64`;
+//! * [`Tac`] — 8-digit Type Allocation Codes;
+//! * [`DeviceModel`] / [`DeviceClass`] / [`DeviceOs`] — the model catalog,
+//!   including the Samsung/LG/Huawei cellular watches the paper observes
+//!   (the studied operator did not yet support the Apple Watch 3);
+//! * [`DeviceDb`] — TAC → model lookup, IMEI allocation, and the
+//!   wearable-TAC search used by the identification pipeline.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod db;
+pub mod imei;
+
+pub use catalog::{standard_catalog, DeviceClass, DeviceModel, DeviceOs};
+pub use db::{DeviceDb, DeviceRecord, ModelId};
+pub use imei::{Imei, ImeiError, Tac};

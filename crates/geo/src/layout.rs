@@ -1,0 +1,303 @@
+//! Deterministic synthetic country layouts.
+//!
+//! The paper observes "a large European mobile ISP" covering a whole country.
+//! We substitute a synthetic country: a handful of cities with Zipf-weighted
+//! populations scattered over a bounding box, plus the antenna sectors that
+//! cover them. The layout is a pure function of its seed, so the simulator
+//! and the analysis can reconstruct identical geography independently.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::point::GeoPoint;
+use crate::sectors::SectorDirectory;
+
+/// Configuration for [`CountryLayout::generate`].
+#[derive(Clone, Debug)]
+pub struct LayoutConfig {
+    /// Number of cities (≥ 1).
+    pub num_cities: u16,
+    /// South-west corner of the country bounding box.
+    pub southwest: GeoPoint,
+    /// Extent of the bounding box, km east and km north.
+    pub extent_km: (f64, f64),
+    /// Zipf exponent for city population weights (1.0 ≈ classic rank-size rule).
+    pub zipf_exponent: f64,
+    /// Radius of the largest city in km; smaller cities scale with √weight.
+    pub max_city_radius_km: f64,
+    /// Antenna sectors deployed in the largest city; others scale with weight
+    /// (every city gets at least one sector).
+    pub sectors_in_largest_city: u32,
+    /// Extra rural sectors scattered uniformly over the box.
+    pub rural_sectors: u32,
+}
+
+impl Default for LayoutConfig {
+    fn default() -> Self {
+        LayoutConfig {
+            num_cities: 12,
+            // Roughly Iberian in size and position, but entirely synthetic.
+            southwest: GeoPoint::new(38.0, -6.0),
+            extent_km: (700.0, 600.0),
+            zipf_exponent: 1.0,
+            max_city_radius_km: 15.0,
+            sectors_in_largest_city: 120,
+            rural_sectors: 150,
+        }
+    }
+}
+
+impl LayoutConfig {
+    /// A small layout for tests and benches.
+    pub fn compact() -> LayoutConfig {
+        LayoutConfig {
+            num_cities: 5,
+            sectors_in_largest_city: 30,
+            rural_sectors: 30,
+            ..LayoutConfig::default()
+        }
+    }
+}
+
+/// One synthetic city.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct City {
+    /// City centre.
+    pub center: GeoPoint,
+    /// Approximate radius of the built-up area, km.
+    pub radius_km: f64,
+    /// Population weight; weights sum to 1 across the layout.
+    pub weight: f64,
+}
+
+/// A synthetic country: cities plus helpers to sample locations from them.
+#[derive(Clone, Debug)]
+pub struct CountryLayout {
+    cities: Vec<City>,
+    southwest: GeoPoint,
+    extent_km: (f64, f64),
+}
+
+impl CountryLayout {
+    /// Generates a layout deterministically from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `config.num_cities == 0` or the extent is not positive.
+    pub fn generate(config: &LayoutConfig, seed: u64) -> CountryLayout {
+        assert!(config.num_cities >= 1, "need at least one city");
+        assert!(
+            config.extent_km.0 > 0.0 && config.extent_km.1 > 0.0,
+            "country extent must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+
+        // Zipf weights by rank.
+        let mut weights: Vec<f64> = (1..=config.num_cities as u64)
+            .map(|rank| 1.0 / (rank as f64).powf(config.zipf_exponent))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+
+        // Place city centres with rejection sampling for minimum separation.
+        let min_sep_km = config.max_city_radius_km * 2.5;
+        let mut centers: Vec<GeoPoint> = Vec::with_capacity(config.num_cities as usize);
+        while centers.len() < config.num_cities as usize {
+            let east = rng.random::<f64>() * config.extent_km.0;
+            let north = rng.random::<f64>() * config.extent_km.1;
+            let p = config.southwest.offset_km(east, north);
+            let ok = centers.iter().all(|c| c.distance_km(p) >= min_sep_km);
+            if ok || centers.len() > 4 * config.num_cities as usize {
+                centers.push(p);
+            }
+        }
+
+        let max_w = weights[0];
+        let cities: Vec<City> = centers
+            .into_iter()
+            .zip(weights)
+            .map(|(center, weight)| City {
+                center,
+                weight,
+                radius_km: config.max_city_radius_km * (weight / max_w).sqrt().max(0.15),
+            })
+            .collect();
+
+        CountryLayout {
+            cities,
+            southwest: config.southwest,
+            extent_km: config.extent_km,
+        }
+    }
+
+    /// The cities, largest first.
+    pub fn cities(&self) -> &[City] {
+        &self.cities
+    }
+
+    /// Picks a city index with probability proportional to population weight.
+    pub fn sample_city<R: Rng + ?Sized>(&self, rng: &mut R) -> u16 {
+        let mut x = rng.random::<f64>();
+        for (i, c) in self.cities.iter().enumerate() {
+            if x < c.weight {
+                return i as u16;
+            }
+            x -= c.weight;
+        }
+        (self.cities.len() - 1) as u16
+    }
+
+    /// Samples a location within city `idx`: a radially-decaying (Gaussian)
+    /// scatter around the centre, truncated at ~2.5 radii.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn sample_point_in_city<R: Rng + ?Sized>(&self, rng: &mut R, idx: u16) -> GeoPoint {
+        let city = self.cities[idx as usize];
+        let sigma = city.radius_km / 2.0;
+        loop {
+            let (dx, dy) = gaussian_pair(rng);
+            let (east, north) = (dx * sigma, dy * sigma);
+            if east.hypot(north) <= 2.5 * city.radius_km {
+                return city.center.offset_km(east, north);
+            }
+        }
+    }
+
+    /// Samples a uniform rural location in the country bounding box.
+    pub fn sample_rural<R: Rng + ?Sized>(&self, rng: &mut R) -> GeoPoint {
+        let east = rng.random::<f64>() * self.extent_km.0;
+        let north = rng.random::<f64>() * self.extent_km.1;
+        self.southwest.offset_km(east, north)
+    }
+
+    /// Deploys antenna sectors for this layout: per-city counts proportional
+    /// to weight (≥ 1 each) plus `rural` uniform sectors, all seeded.
+    pub fn deploy_sectors(
+        &self,
+        sectors_in_largest_city: u32,
+        rural: u32,
+        seed: u64,
+    ) -> SectorDirectory {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xd1b5_4a32_d192_ed03);
+        let mut dir = SectorDirectory::new();
+        let max_w = self.cities[0].weight;
+        for (i, city) in self.cities.iter().enumerate() {
+            let n = ((sectors_in_largest_city as f64 * city.weight / max_w).round() as u32).max(1);
+            for _ in 0..n {
+                let p = self.sample_point_in_city(&mut rng, i as u16);
+                dir.push(p, Some(i as u16));
+            }
+        }
+        for _ in 0..rural {
+            dir.push(self.sample_rural(&mut rng), None);
+        }
+        dir
+    }
+}
+
+/// A pair of independent standard-normal samples (Box–Muller).
+fn gaussian_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * core::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = LayoutConfig::compact();
+        let a = CountryLayout::generate(&cfg, 7);
+        let b = CountryLayout::generate(&cfg, 7);
+        assert_eq!(a.cities(), b.cities());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = LayoutConfig::compact();
+        let a = CountryLayout::generate(&cfg, 1);
+        let b = CountryLayout::generate(&cfg, 2);
+        assert_ne!(a.cities()[0].center, b.cities()[0].center);
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_decrease() {
+        let layout = CountryLayout::generate(&LayoutConfig::default(), 42);
+        let sum: f64 = layout.cities().iter().map(|c| c.weight).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for w in layout.cities().windows(2) {
+            assert!(w[0].weight >= w[1].weight);
+        }
+    }
+
+    #[test]
+    fn city_sampling_respects_weights() {
+        let layout = CountryLayout::generate(&LayoutConfig::compact(), 3);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = vec![0usize; layout.cities().len()];
+        let n = 20_000;
+        for _ in 0..n {
+            counts[layout.sample_city(&mut rng) as usize] += 1;
+        }
+        for (i, c) in layout.cities().iter().enumerate() {
+            let observed = counts[i] as f64 / n as f64;
+            assert!(
+                (observed - c.weight).abs() < 0.02,
+                "city {i}: observed {observed}, weight {}",
+                c.weight
+            );
+        }
+    }
+
+    #[test]
+    fn city_points_stay_near_center() {
+        let layout = CountryLayout::generate(&LayoutConfig::compact(), 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let city = layout.cities()[0];
+        for _ in 0..500 {
+            let p = layout.sample_point_in_city(&mut rng, 0);
+            assert!(p.distance_km(city.center) <= 2.5 * city.radius_km + 0.1);
+        }
+    }
+
+    #[test]
+    fn deployment_covers_every_city() {
+        let layout = CountryLayout::generate(&LayoutConfig::compact(), 3);
+        let dir = layout.deploy_sectors(30, 10, 11);
+        let num_cities = layout.cities().len();
+        for i in 0..num_cities {
+            assert!(
+                dir.iter().any(|s| s.city == Some(i as u16)),
+                "city {i} has no sector"
+            );
+        }
+        assert!(dir.iter().filter(|s| s.city.is_none()).count() >= 10);
+    }
+
+    #[test]
+    fn deployment_is_deterministic() {
+        let layout = CountryLayout::generate(&LayoutConfig::compact(), 3);
+        let a = layout.deploy_sectors(30, 10, 11);
+        let b = layout.deploy_sectors(30, 10, 11);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.location, y.location);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one city")]
+    fn zero_cities_panics() {
+        let cfg = LayoutConfig {
+            num_cities: 0,
+            ..LayoutConfig::default()
+        };
+        let _ = CountryLayout::generate(&cfg, 0);
+    }
+}

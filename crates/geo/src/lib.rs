@@ -1,0 +1,29 @@
+//! Geographic primitives for the `wearscope` simulator and analysis.
+//!
+//! The paper's mobility analysis (Sec. 4.4, Fig. 4(c,d)) works entirely on
+//! *antenna sectors*: the MME logs which sector a subscriber is attached to,
+//! and metrics such as *max displacement* (the distance between the two
+//! furthest sectors a user touched in a day) and *location entropy* are
+//! computed over sector coordinates.
+//!
+//! This crate provides:
+//! * [`GeoPoint`] — WGS-84 latitude/longitude with haversine distance;
+//! * [`Sector`] / [`SectorId`] / [`SectorDirectory`] — the deployed antenna
+//!   sectors and the id → coordinate mapping shared by the network simulator
+//!   and the analysis pipeline (mirroring the operator's cell-plan database);
+//! * [`SectorGrid`] — a bucket-grid spatial index for nearest-sector lookup;
+//! * [`CountryLayout`] — a deterministic synthetic country (cities with
+//!   Zipf-weighted populations) used to place sectors and subscribers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod grid;
+pub mod layout;
+pub mod point;
+pub mod sectors;
+
+pub use grid::SectorGrid;
+pub use layout::{City, CountryLayout, LayoutConfig};
+pub use point::GeoPoint;
+pub use sectors::{Sector, SectorDirectory, SectorId};

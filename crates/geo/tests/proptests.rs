@@ -1,0 +1,98 @@
+//! Property-based tests for geographic invariants.
+
+use proptest::prelude::*;
+use wearscope_geo::{GeoPoint, SectorDirectory, SectorGrid, SectorId};
+
+proptest! {
+    /// Haversine distance is a metric on the sphere: non-negative, symmetric,
+    /// zero iff identical, and satisfies the triangle inequality.
+    #[test]
+    fn distance_is_a_metric(
+        lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
+        lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0,
+        lat3 in -80.0f64..80.0, lon3 in -179.0f64..179.0,
+    ) {
+        let a = GeoPoint::new(lat1, lon1);
+        let b = GeoPoint::new(lat2, lon2);
+        let c = GeoPoint::new(lat3, lon3);
+        prop_assert!(a.distance_km(b) >= 0.0);
+        prop_assert!((a.distance_km(b) - b.distance_km(a)).abs() < 1e-9);
+        prop_assert_eq!(a.distance_km(a), 0.0);
+        prop_assert!(a.distance_km(c) <= a.distance_km(b) + b.distance_km(c) + 1e-6);
+    }
+
+    /// Distances never exceed half the Earth's circumference.
+    #[test]
+    fn distance_bounded_by_antipode(
+        lat1 in -90.0f64..=90.0, lon1 in -180.0f64..=180.0,
+        lat2 in -90.0f64..=90.0, lon2 in -180.0f64..=180.0,
+    ) {
+        let d = GeoPoint::new(lat1, lon1).distance_km(GeoPoint::new(lat2, lon2));
+        prop_assert!(d <= std::f64::consts::PI * wearscope_geo::point::EARTH_RADIUS_KM + 1e-6);
+    }
+
+    /// offset_km by (e, n) moves the point by ~hypot(e, n) km for small offsets.
+    #[test]
+    fn offset_distance_consistent(
+        lat in -60.0f64..60.0, lon in -170.0f64..170.0,
+        east in -50.0f64..50.0, north in -50.0f64..50.0,
+    ) {
+        let p = GeoPoint::new(lat, lon);
+        let q = p.offset_km(east, north);
+        let want = east.hypot(north);
+        let got = p.distance_km(q);
+        // Tangent-plane approximation: allow 1% + 10 m.
+        prop_assert!((got - want).abs() <= want * 0.01 + 0.01, "want {want} got {got}");
+    }
+
+    /// The grid index always agrees with brute force nearest-neighbour.
+    #[test]
+    fn grid_matches_brute_force(
+        pts in prop::collection::vec((38.0f64..44.0, -6.0f64..3.0), 1..60),
+        q_lat in 36.0f64..46.0, q_lon in -8.0f64..5.0,
+    ) {
+        let mut dir = SectorDirectory::new();
+        for (lat, lon) in &pts {
+            dir.push(GeoPoint::new(*lat, *lon), None);
+        }
+        let grid = SectorGrid::build(&dir);
+        let q = GeoPoint::new(q_lat, q_lon);
+        let (_, got) = grid.nearest_with_distance(q).unwrap();
+        let want = dir
+            .iter()
+            .map(|s| q.distance_km(s.location))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((got - want).abs() < 1e-9, "grid {got} vs brute {want}");
+    }
+
+    /// Max displacement over sector subsets is monotone: adding a sector can
+    /// never decrease it, and it equals 0 for fewer than two sectors.
+    #[test]
+    fn max_displacement_monotone(
+        pts in prop::collection::vec((38.0f64..44.0, -6.0f64..3.0), 2..20),
+    ) {
+        let mut dir = SectorDirectory::new();
+        for (lat, lon) in &pts {
+            dir.push(GeoPoint::new(*lat, *lon), None);
+        }
+        let all: Vec<SectorId> = dir.iter().map(|s| s.id).collect();
+        prop_assert_eq!(dir.max_displacement_km(&all[..1]), 0.0);
+        let mut prev = 0.0;
+        for k in 2..=all.len() {
+            let d = dir.max_displacement_km(&all[..k]);
+            prop_assert!(d >= prev - 1e-12);
+            prev = d;
+        }
+        // And it is exactly some pairwise distance.
+        let full = dir.max_displacement_km(&all);
+        let mut found = false;
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                if (dir.distance_km(all[i], all[j]).unwrap() - full).abs() < 1e-12 {
+                    found = true;
+                }
+            }
+        }
+        prop_assert!(found);
+    }
+}

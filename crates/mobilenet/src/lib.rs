@@ -1,0 +1,34 @@
+//! Event-driven simulator of the ISP measurement infrastructure (Fig. 1 of
+//! the paper).
+//!
+//! The behaviour generators (`wearscope-synthpop`) emit a time-ordered
+//! stream of [`NetworkEvent`]s — attaches, detaches, sector moves, and
+//! HTTP/HTTPS transactions. This crate implements the network elements that
+//! observe that stream and produce the study's logs:
+//!
+//! * [`Mme`] — tracks per-device registration state and the current sector,
+//!   writes the MME log, and maintains the daily registered-user summary the
+//!   paper's five-month adoption analysis uses;
+//! * [`TransparentProxy`] — logs one [`wearscope_trace::ProxyRecord`] per
+//!   transaction and keeps aggregate counters;
+//! * [`MobileNetwork`] — composes both elements over a shared
+//!   [`wearscope_geo::SectorDirectory`] and collects everything into a
+//!   [`wearscope_trace::TraceStore`].
+//!
+//! The elements are *observers*: they never alter the behaviour stream,
+//! exactly like the passive taps in the real network. Anomalous event
+//! sequences (a move for a detached device, time regressions) are tolerated
+//! and counted, as a middlebox would, rather than rejected.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod mme;
+pub mod network;
+pub mod proxy;
+
+pub use event::NetworkEvent;
+pub use mme::{Mme, MmeSummary, SectorCensus};
+pub use network::{MobileNetwork, NetworkStats, NetworkSummaries};
+pub use proxy::{ProxyCounters, TransparentProxy, WearableTrafficSummary};

@@ -1,0 +1,327 @@
+//! The composed network: MME + proxy over a sector deployment.
+
+use parking_lot::Mutex;
+
+use std::collections::HashSet;
+
+use wearscope_devicedb::{DeviceDb, Imei};
+use wearscope_geo::SectorDirectory;
+use wearscope_simtime::{ObservationWindow, SimTime};
+use wearscope_trace::TraceStore;
+
+use crate::event::NetworkEvent;
+use crate::mme::{Mme, MmeSummary, SectorCensus};
+use crate::proxy::{ProxyCounters, TransparentProxy, WearableTrafficSummary};
+
+/// Aggregate health/throughput statistics of a simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Total events processed.
+    pub events: u64,
+    /// Events that arrived with a timestamp earlier than a previous event
+    /// (tolerated — the logs are re-sorted — but indicative of a generator
+    /// bug, so counted).
+    pub time_regressions: u64,
+    /// MME protocol anomalies (see [`Mme::anomalies`]).
+    pub mme_anomalies: u64,
+    /// Proxy counters.
+    pub proxy: ProxyCounters,
+}
+
+/// The long-horizon summary statistics of both logging vantage points.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkSummaries {
+    /// Daily wearable registration summary from the MME.
+    pub mme: MmeSummary,
+    /// Daily wearable traffic summary from the proxy.
+    pub wearable_traffic: WearableTrafficSummary,
+    /// Per-sector attachment census (not persisted; derived live by the MME).
+    pub census: SectorCensus,
+}
+
+impl NetworkSummaries {
+    /// Persists both summaries as `summary_mme.tsv` and
+    /// `summary_traffic.tsv` under `dir`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mme = std::fs::File::create(dir.join("summary_mme.tsv"))?;
+        self.mme.write_tsv(std::io::BufWriter::new(mme))?;
+        let traffic = std::fs::File::create(dir.join("summary_traffic.tsv"))?;
+        self.wearable_traffic
+            .write_tsv(std::io::BufWriter::new(traffic))?;
+        Ok(())
+    }
+
+    /// Loads summaries written by [`NetworkSummaries::save`].
+    ///
+    /// # Errors
+    /// Fails on filesystem errors or malformed files.
+    pub fn load(dir: &std::path::Path) -> std::io::Result<NetworkSummaries> {
+        let mme = std::fs::File::open(dir.join("summary_mme.tsv"))?;
+        let wearable = std::fs::File::open(dir.join("summary_traffic.tsv"))?;
+        Ok(NetworkSummaries {
+            mme: MmeSummary::read_tsv(std::io::BufReader::new(mme))?,
+            wearable_traffic: WearableTrafficSummary::read_tsv(std::io::BufReader::new(
+                wearable,
+            ))?,
+            census: SectorCensus::default(),
+        })
+    }
+}
+
+/// The simulated mobile network: feeds a time-ordered [`NetworkEvent`]
+/// stream through the MME and the transparent proxy and collects their logs.
+///
+/// Interior mutability (a [`parking_lot::Mutex`]) makes the network shareable
+/// across generator threads: each worker can `handle` events for disjoint
+/// user shards and the logs are merged time-sorted at collection.
+///
+/// # Examples
+/// ```
+/// use wearscope_devicedb::DeviceDb;
+/// use wearscope_geo::{GeoPoint, SectorDirectory, SectorId};
+/// use wearscope_mobilenet::{MobileNetwork, NetworkEvent};
+/// use wearscope_simtime::SimTime;
+/// use wearscope_trace::{Scheme, UserId};
+///
+/// let db = DeviceDb::standard();
+/// let mut sectors = SectorDirectory::new();
+/// sectors.push(GeoPoint::new(40.0, -3.0), None);
+/// let net = MobileNetwork::new(db.clone(), sectors);
+/// let imei = db.example_imei(db.wearable_tacs()[0], 1).as_u64();
+/// net.handle(NetworkEvent::Attach {
+///     t: SimTime::from_secs(1), user: UserId(1), imei, sector: SectorId(0),
+/// });
+/// net.handle(NetworkEvent::Transaction {
+///     t: SimTime::from_secs(2), user: UserId(1), imei,
+///     host: "api.weather.com".into(), scheme: Scheme::Https,
+///     bytes_down: 2500, bytes_up: 300,
+/// });
+/// let (store, summaries, stats) = net.finish();
+/// assert_eq!(store.proxy().len(), 1);
+/// assert_eq!(store.mme().len(), 1);
+/// assert_eq!(summaries.mme.users_on_day(0), 1);
+/// assert_eq!(summaries.wearable_traffic.users_on_day(0), 1);
+/// assert_eq!(stats.events, 2);
+/// ```
+#[derive(Debug)]
+pub struct MobileNetwork {
+    inner: Mutex<Inner>,
+    sectors: SectorDirectory,
+    wearable_tacs: HashSet<u32>,
+    window: Option<ObservationWindow>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    mme: Mme,
+    proxy: TransparentProxy,
+    last_time: SimTime,
+    events: u64,
+    time_regressions: u64,
+}
+
+impl MobileNetwork {
+    /// A network over the given device database and sector deployment,
+    /// retaining raw logs for the whole run.
+    pub fn new(db: DeviceDb, sectors: SectorDirectory) -> MobileNetwork {
+        Self::build(db, sectors, None)
+    }
+
+    /// A network that retains raw logs only inside `window.detailed()`,
+    /// while summaries cover the whole observation — the paper's retention
+    /// regime (five months of summary statistics, seven weeks of full logs).
+    pub fn with_window(
+        db: DeviceDb,
+        sectors: SectorDirectory,
+        window: ObservationWindow,
+    ) -> MobileNetwork {
+        Self::build(db, sectors, Some(window))
+    }
+
+    fn build(
+        db: DeviceDb,
+        sectors: SectorDirectory,
+        window: Option<ObservationWindow>,
+    ) -> MobileNetwork {
+        let wearable_tacs = db.wearable_tacs().iter().map(|t| t.value()).collect();
+        let mme = match window {
+            Some(w) => Mme::with_window(&db, w),
+            None => Mme::new(&db),
+        };
+        MobileNetwork {
+            inner: Mutex::new(Inner {
+                mme,
+                proxy: TransparentProxy::new(),
+                last_time: SimTime::EPOCH,
+                events: 0,
+                time_regressions: 0,
+            }),
+            sectors,
+            wearable_tacs,
+            window,
+        }
+    }
+
+    fn is_wearable(&self, imei: u64) -> bool {
+        Imei::from_u64(imei)
+            .map(|i| self.wearable_tacs.contains(&i.tac().value()))
+            .unwrap_or(false)
+    }
+
+    /// The sector deployment this network serves.
+    pub fn sectors(&self) -> &SectorDirectory {
+        &self.sectors
+    }
+
+    /// Processes one event.
+    pub fn handle(&self, event: NetworkEvent) {
+        let mut inner = self.inner.lock();
+        let t = event.time();
+        if t < inner.last_time {
+            inner.time_regressions += 1;
+        } else {
+            inner.last_time = t;
+        }
+        inner.events += 1;
+        match event {
+            NetworkEvent::Attach { t, user, imei, sector } => {
+                inner.mme.attach(t, user, imei, sector);
+            }
+            NetworkEvent::Detach { t, user, imei } => {
+                inner.mme.detach(t, user, imei);
+            }
+            NetworkEvent::Move { t, user, imei, sector } => {
+                inner.mme.sector_update(t, user, imei, sector);
+            }
+            NetworkEvent::Transaction {
+                t,
+                user,
+                imei,
+                host,
+                scheme,
+                bytes_down,
+                bytes_up,
+            } => {
+                let is_wearable = self.is_wearable(imei);
+                let retain = self.window.map_or(true, |w| w.in_detail(t));
+                inner.proxy.observe(
+                    t, user, imei, &host, scheme, bytes_down, bytes_up, is_wearable, retain,
+                );
+            }
+        }
+    }
+
+    /// Processes a batch of events.
+    pub fn handle_all<I: IntoIterator<Item = NetworkEvent>>(&self, events: I) {
+        for e in events {
+            self.handle(e);
+        }
+    }
+
+    /// Finishes the run: returns the time-sorted trace store, the vantage
+    /// point summaries, and run statistics.
+    pub fn finish(self) -> (TraceStore, NetworkSummaries, NetworkStats) {
+        let mut inner = self.inner.into_inner();
+        let stats = NetworkStats {
+            events: inner.events,
+            time_regressions: inner.time_regressions,
+            mme_anomalies: inner.mme.anomalies(),
+            proxy: inner.proxy.counters(),
+        };
+        let store = TraceStore::from_records(inner.proxy.take_log(), inner.mme.take_log());
+        let summaries = NetworkSummaries {
+            mme: inner.mme.summary().clone(),
+            wearable_traffic: inner.proxy.wearable_summary().clone(),
+            census: inner.mme.census().clone(),
+        };
+        (store, summaries, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wearscope_geo::{GeoPoint, SectorId};
+    use wearscope_trace::{Scheme, UserId};
+
+    fn setup() -> (DeviceDb, MobileNetwork, u64) {
+        let db = DeviceDb::standard();
+        let mut sectors = SectorDirectory::new();
+        sectors.push(GeoPoint::new(40.0, -3.0), None);
+        sectors.push(GeoPoint::new(40.2, -3.1), None);
+        let imei = db.example_imei(db.wearable_tacs()[0], 7).as_u64();
+        let net = MobileNetwork::new(db.clone(), sectors);
+        (db, net, imei)
+    }
+
+    #[test]
+    fn event_stream_produces_sorted_store() {
+        let (_, net, imei) = setup();
+        let u = UserId(1);
+        net.handle_all(vec![
+            NetworkEvent::Attach { t: SimTime::from_secs(10), user: u, imei, sector: SectorId(0) },
+            NetworkEvent::Transaction {
+                t: SimTime::from_secs(20),
+                user: u,
+                imei,
+                host: "h".into(),
+                scheme: Scheme::Https,
+                bytes_down: 1,
+                bytes_up: 2,
+            },
+            NetworkEvent::Move { t: SimTime::from_secs(30), user: u, imei, sector: SectorId(1) },
+            NetworkEvent::Detach { t: SimTime::from_secs(40), user: u, imei },
+        ]);
+        let (store, _, stats) = net.finish();
+        assert!(store.is_time_sorted());
+        assert_eq!(store.mme().len(), 3);
+        assert_eq!(store.proxy().len(), 1);
+        assert_eq!(stats.events, 4);
+        assert_eq!(stats.time_regressions, 0);
+        assert_eq!(stats.mme_anomalies, 0);
+    }
+
+    #[test]
+    fn time_regressions_counted_but_sorted_away() {
+        let (_, net, imei) = setup();
+        let u = UserId(1);
+        net.handle(NetworkEvent::Attach { t: SimTime::from_secs(100), user: u, imei, sector: SectorId(0) });
+        net.handle(NetworkEvent::Move { t: SimTime::from_secs(50), user: u, imei, sector: SectorId(1) });
+        let (store, _, stats) = net.finish();
+        assert_eq!(stats.time_regressions, 1);
+        assert!(store.is_time_sorted());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let (db, net, _) = setup();
+        let net = std::sync::Arc::new(net);
+        let tac = db.wearable_tacs()[0];
+        std::thread::scope(|s| {
+            for w in 0..4u64 {
+                let net = net.clone();
+                let imei = db.example_imei(tac, 100 + w as u32).as_u64();
+                s.spawn(move || {
+                    for k in 0..100u64 {
+                        net.handle(NetworkEvent::Move {
+                            t: SimTime::from_secs(k),
+                            user: UserId(w),
+                            imei,
+                            sector: SectorId((k % 2) as u32),
+                        });
+                    }
+                });
+            }
+        });
+        let net = std::sync::Arc::into_inner(net).unwrap();
+        let (store, summaries, stats) = net.finish();
+        assert_eq!(stats.events, 400);
+        assert_eq!(store.mme().len(), 400);
+        assert!(store.is_time_sorted());
+        assert_eq!(summaries.mme.users_on_day(0), 4);
+    }
+}

@@ -1,0 +1,86 @@
+//! Minimal CSV emission (RFC-4180 quoting).
+
+/// A CSV writer that accumulates into a string.
+///
+/// # Examples
+/// ```
+/// use wearscope_report::CsvWriter;
+/// let mut w = CsvWriter::new(vec!["app", "share"]);
+/// w.row(vec!["Weather, the app".into(), "0.18".into()]);
+/// let csv = w.finish();
+/// assert!(csv.starts_with("app,share\n"));
+/// assert!(csv.contains("\"Weather, the app\",0.18"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CsvWriter {
+    out: String,
+    cols: usize,
+}
+
+impl CsvWriter {
+    /// Starts a CSV document with a header row.
+    pub fn new<S: AsRef<str>>(headers: Vec<S>) -> CsvWriter {
+        let cols = headers.len();
+        let mut w = CsvWriter {
+            out: String::new(),
+            cols,
+        };
+        w.write_row(headers.iter().map(|s| s.as_ref()));
+        w
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.cols, "CSV row width mismatch");
+        self.write_row(cells.iter().map(String::as_str));
+        self
+    }
+
+    fn write_row<'a, I: Iterator<Item = &'a str>>(&mut self, cells: I) {
+        let mut first = true;
+        for cell in cells {
+            if !first {
+                self.out.push(',');
+            }
+            first = false;
+            if cell.contains([',', '"', '\n', '\r']) {
+                self.out.push('"');
+                self.out.push_str(&cell.replace('"', "\"\""));
+                self.out.push('"');
+            } else {
+                self.out.push_str(cell);
+            }
+        }
+        self.out.push('\n');
+    }
+
+    /// The CSV document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quotes_special_cells() {
+        let mut w = CsvWriter::new(vec!["a", "b"]);
+        w.row(vec!["x,y".into(), "say \"hi\"".into()]);
+        w.row(vec!["line\nbreak".into(), "plain".into()]);
+        let csv = w.finish();
+        assert!(csv.contains("\"x,y\",\"say \"\"hi\"\"\""));
+        assert!(csv.contains("\"line\nbreak\",plain"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut w = CsvWriter::new(vec!["a", "b"]);
+        w.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Reporting: ASCII tables and plots, CSV export, and the paper-vs-measured
+//! experiment comparator that backs `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod csv;
+pub mod experiments;
+pub mod figures;
+pub mod plot;
+pub mod summary;
+pub mod table;
+
+pub use csv::CsvWriter;
+pub use experiments::{Band, ExperimentReport, ExperimentRow};
+pub use figures::FigureCsvExporter;
+pub use plot::{bar_chart_log, ecdf_plot, sparkline};
+pub use summary::render_full_report;
+pub use table::Table;

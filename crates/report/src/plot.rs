@@ -1,0 +1,116 @@
+//! Terminal plots: log-scale bar charts (Figs. 5/6/8), ECDF curves
+//! (Figs. 3/4), and sparklines (Fig. 2(a)).
+
+/// A horizontal bar chart with a log₁₀ value axis, matching the paper's
+/// log-scale percentage figures. Values ≤ 0 render as empty bars.
+pub fn bar_chart_log(rows: &[(String, f64)], width: usize, unit: &str) -> String {
+    if rows.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let max = rows.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+    let min_positive = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .filter(|v| *v > 0.0)
+        .fold(f64::MAX, f64::min);
+    let mut out = String::new();
+    if max <= 0.0 || !max.is_finite() {
+        for (label, _) in rows {
+            out.push_str(&format!("{label:label_w$}  |\n"));
+        }
+        return out;
+    }
+    let lo = (min_positive / 10.0).log10();
+    let hi = max.log10();
+    let span = (hi - lo).max(1e-9);
+    for (label, v) in rows {
+        let bar = if *v > 0.0 {
+            let frac = ((v.log10() - lo) / span).clamp(0.0, 1.0);
+            "#".repeat((frac * width as f64).round().max(1.0) as usize)
+        } else {
+            String::new()
+        };
+        out.push_str(&format!("{label:label_w$}  |{bar} {v:.4}{unit}\n"));
+    }
+    out
+}
+
+/// Renders an ECDF curve as rows of `(quantile, value)` with a bar.
+pub fn ecdf_plot(ecdf: &wearscope_core::Ecdf, width: usize, unit: &str) -> String {
+    if ecdf.is_empty() {
+        return String::from("(no samples)\n");
+    }
+    let mut out = String::new();
+    let max = ecdf.max().max(1e-12);
+    for pct in [1, 5, 10, 25, 50, 75, 90, 95, 99] {
+        let v = ecdf.quantile(pct as f64 / 100.0);
+        let bar = "#".repeat(((v / max) * width as f64).round() as usize);
+        out.push_str(&format!("p{pct:02}  |{bar} {v:.2}{unit}\n"));
+    }
+    out
+}
+
+/// A one-line sparkline over a numeric series.
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            GLYPHS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wearscope_core::Ecdf;
+
+    #[test]
+    fn bar_chart_orders_and_scales() {
+        let rows = vec![
+            ("big".to_string(), 10.0),
+            ("small".to_string(), 0.01),
+            ("zero".to_string(), 0.0),
+        ];
+        let s = bar_chart_log(&rows, 40, "%");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let hashes = |l: &str| l.chars().filter(|&c| c == '#').count();
+        assert!(hashes(lines[0]) > hashes(lines[1]));
+        assert_eq!(hashes(lines[2]), 0);
+    }
+
+    #[test]
+    fn bar_chart_empty_and_all_zero() {
+        assert!(bar_chart_log(&[], 10, "").contains("no data"));
+        let s = bar_chart_log(&[("z".into(), 0.0)], 10, "");
+        assert!(s.contains('|'));
+    }
+
+    #[test]
+    fn ecdf_plot_has_quantiles() {
+        let e = Ecdf::from_samples((1..=100).map(|i| i as f64).collect());
+        let s = ecdf_plot(&e, 20, "km");
+        assert!(s.contains("p50"));
+        assert!(s.contains("p99"));
+        assert!(ecdf_plot(&Ecdf::from_samples(vec![]), 20, "").contains("no samples"));
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+}

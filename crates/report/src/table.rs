@@ -1,0 +1,132 @@
+//! Plain-text tables.
+
+/// A simple column-aligned ASCII table.
+///
+/// # Examples
+/// ```
+/// use wearscope_report::Table;
+/// let mut t = Table::new(vec!["app", "users"]);
+/// t.row(vec!["Weather".into(), "0.182".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Weather"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with a header underline; numeric-looking cells right-align.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let numeric: Vec<bool> = (0..cols)
+            .map(|i| {
+                !self.rows.is_empty()
+                    && self.rows.iter().all(|r| looks_numeric(&r[i]) || r[i].is_empty())
+            })
+            .collect();
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                if numeric[i] {
+                    out.extend(std::iter::repeat_n(' ', pad));
+                    out.push_str(cell);
+                } else {
+                    out.push_str(cell);
+                    out.extend(std::iter::repeat_n(' ', pad));
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.extend(std::iter::repeat_n('-', total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+}
+
+fn looks_numeric(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E' | '%' | '✓' | '✗'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a".into(), "1.5".into()]);
+        t.row(vec!["longer-name".into(), "20".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines same width or less (trailing spaces trimmed).
+        assert!(lines[1].starts_with("---"));
+        // Numeric column right-aligned: "1.5" ends at same col as "20"... both right-aligned.
+        assert!(lines[2].contains("a"));
+        assert!(lines[3].contains("longer-name"));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["x".into()]);
+        assert_eq!(t.len(), 1);
+        let s = t.render();
+        assert!(s.contains('x'));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(vec!["a"]);
+        assert!(t.is_empty());
+        assert!(t.render().contains('a'));
+    }
+}

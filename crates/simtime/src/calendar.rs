@@ -1,0 +1,204 @@
+//! Weekday arithmetic anchored to the observation epoch.
+
+use core::fmt;
+
+use crate::time::SimTime;
+use crate::DAYS_PER_WEEK;
+
+/// A day of the week.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum Weekday {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl Weekday {
+    /// All weekdays, Monday first.
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+
+    /// Index with Monday = 0 … Sunday = 6.
+    #[inline]
+    pub const fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// The weekday `n` days after `self`.
+    #[inline]
+    pub const fn plus_days(self, n: u64) -> Weekday {
+        Self::ALL[((self as u64 + n) % DAYS_PER_WEEK) as usize]
+    }
+
+    /// `true` for Saturday and Sunday.
+    #[inline]
+    pub const fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+
+    /// Three-letter English abbreviation.
+    pub const fn abbrev(self) -> &'static str {
+        match self {
+            Weekday::Monday => "Mon",
+            Weekday::Tuesday => "Tue",
+            Weekday::Wednesday => "Wed",
+            Weekday::Thursday => "Thu",
+            Weekday::Friday => "Fri",
+            Weekday::Saturday => "Sat",
+            Weekday::Sunday => "Sun",
+        }
+    }
+}
+
+impl fmt::Display for Weekday {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Maps simulation instants to weekdays, given which weekday day 0 was.
+///
+/// The paper's five-month window starts mid-December 2017; 15 December 2017
+/// was a **Friday**, which is the default anchor ([`Calendar::PAPER`]).
+///
+/// # Examples
+/// ```
+/// use wearscope_simtime::{Calendar, SimTime, Weekday};
+/// let cal = Calendar::PAPER; // day 0 = Friday
+/// assert_eq!(cal.weekday(SimTime::from_days(0)), Weekday::Friday);
+/// assert_eq!(cal.weekday(SimTime::from_days(3)), Weekday::Monday);
+/// assert!(cal.is_weekend(SimTime::from_days(1))); // Saturday
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Calendar {
+    day0: Weekday,
+}
+
+impl Calendar {
+    /// The paper's calendar: observation day 0 is Friday, 15 Dec 2017.
+    pub const PAPER: Calendar = Calendar {
+        day0: Weekday::Friday,
+    };
+
+    /// A calendar where day 0 falls on `day0`.
+    #[inline]
+    pub const fn starting_on(day0: Weekday) -> Calendar {
+        Calendar { day0 }
+    }
+
+    /// The weekday of the epoch.
+    #[inline]
+    pub const fn day0(self) -> Weekday {
+        self.day0
+    }
+
+    /// The weekday of day `day_index`.
+    #[inline]
+    pub const fn weekday_of_day(self, day_index: u64) -> Weekday {
+        self.day0.plus_days(day_index)
+    }
+
+    /// The weekday of instant `t`.
+    #[inline]
+    pub const fn weekday(self, t: SimTime) -> Weekday {
+        self.weekday_of_day(t.day_index())
+    }
+
+    /// `true` if `t` falls on Saturday or Sunday.
+    #[inline]
+    pub const fn is_weekend(self, t: SimTime) -> bool {
+        self.weekday(t).is_weekend()
+    }
+
+    /// `true` if day `day_index` is Saturday or Sunday.
+    #[inline]
+    pub const fn day_is_weekend(self, day_index: u64) -> bool {
+        self.weekday_of_day(day_index).is_weekend()
+    }
+}
+
+impl Default for Calendar {
+    fn default() -> Self {
+        Calendar::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weekday_index_is_monday_zero() {
+        assert_eq!(Weekday::Monday.index(), 0);
+        assert_eq!(Weekday::Sunday.index(), 6);
+    }
+
+    #[test]
+    fn plus_days_wraps() {
+        assert_eq!(Weekday::Friday.plus_days(1), Weekday::Saturday);
+        assert_eq!(Weekday::Friday.plus_days(3), Weekday::Monday);
+        assert_eq!(Weekday::Sunday.plus_days(7), Weekday::Sunday);
+        assert_eq!(Weekday::Monday.plus_days(13), Weekday::Sunday);
+    }
+
+    #[test]
+    fn weekend_detection() {
+        assert!(Weekday::Saturday.is_weekend());
+        assert!(Weekday::Sunday.is_weekend());
+        for wd in [
+            Weekday::Monday,
+            Weekday::Tuesday,
+            Weekday::Wednesday,
+            Weekday::Thursday,
+            Weekday::Friday,
+        ] {
+            assert!(!wd.is_weekend(), "{wd} should not be weekend");
+        }
+    }
+
+    #[test]
+    fn paper_calendar_anchor() {
+        let cal = Calendar::PAPER;
+        assert_eq!(cal.weekday_of_day(0), Weekday::Friday);
+        assert_eq!(cal.weekday_of_day(1), Weekday::Saturday);
+        assert_eq!(cal.weekday_of_day(2), Weekday::Sunday);
+        assert_eq!(cal.weekday_of_day(3), Weekday::Monday);
+        assert_eq!(cal.weekday_of_day(7), Weekday::Friday);
+    }
+
+    #[test]
+    fn weekend_days_in_a_week() {
+        let cal = Calendar::PAPER;
+        let weekend_days: Vec<u64> = (0..7).filter(|&d| cal.day_is_weekend(d)).collect();
+        assert_eq!(weekend_days, vec![1, 2]);
+    }
+
+    #[test]
+    fn instant_weekday() {
+        let cal = Calendar::starting_on(Weekday::Monday);
+        assert_eq!(cal.weekday(SimTime::from_days(4)), Weekday::Friday);
+        assert!(!cal.is_weekend(SimTime::from_days(4)));
+        assert!(cal.is_weekend(SimTime::from_days(5)));
+    }
+
+    #[test]
+    fn all_weekdays_listed_once() {
+        let mut seen = std::collections::HashSet::new();
+        for wd in Weekday::ALL {
+            assert!(seen.insert(wd));
+        }
+        assert_eq!(seen.len(), 7);
+    }
+}

@@ -1,0 +1,42 @@
+//! Simulation time for the `wearscope` measurement study.
+//!
+//! The paper analyses two nested observation windows: a five-month summary
+//! window (mid-December 2017 → mid-May 2018) and a seven-week detailed window
+//! at its end. All vantage-point logs are timestamped, and every analysis in
+//! the paper slices time by *hour of day*, *day of week*, *day index*, or
+//! *week index*. This crate provides the small, allocation-free vocabulary
+//! for that: [`SimTime`], [`SimDuration`], [`Weekday`], [`Calendar`],
+//! [`TimeRange`], and [`ObservationWindow`].
+//!
+//! Time is represented as whole seconds since the start of the observation
+//! (the *epoch*). This matches what the ISP middleboxes in the paper log
+//! (per-transaction timestamps at second granularity) and keeps arithmetic
+//! exact and platform independent.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod calendar;
+pub mod duration;
+pub mod range;
+pub mod time;
+pub mod window;
+
+pub use calendar::{Calendar, Weekday};
+pub use duration::SimDuration;
+pub use range::{DayIter, HourIter, TimeRange, WeekIter};
+pub use time::SimTime;
+pub use window::ObservationWindow;
+
+/// Seconds in one minute.
+pub const SECS_PER_MINUTE: u64 = 60;
+/// Seconds in one hour.
+pub const SECS_PER_HOUR: u64 = 60 * SECS_PER_MINUTE;
+/// Seconds in one day.
+pub const SECS_PER_DAY: u64 = 24 * SECS_PER_HOUR;
+/// Seconds in one (7-day) week.
+pub const SECS_PER_WEEK: u64 = 7 * SECS_PER_DAY;
+/// Hours in one day.
+pub const HOURS_PER_DAY: u64 = 24;
+/// Days in one week.
+pub const DAYS_PER_WEEK: u64 = 7;

@@ -1,0 +1,157 @@
+//! The paper's nested observation windows.
+
+use crate::calendar::Calendar;
+use crate::range::TimeRange;
+use crate::time::SimTime;
+
+/// The study layout: a long *summary* window with a shorter *detailed* window
+/// at its tail, exactly as in the paper (five months of summary statistics,
+/// detailed MME + proxy logs for the final seven weeks).
+///
+/// # Examples
+/// ```
+/// use wearscope_simtime::ObservationWindow;
+/// let w = ObservationWindow::paper();
+/// assert_eq!(w.summary().num_days(), 151);
+/// assert_eq!(w.detailed().num_whole_weeks(), 7);
+/// assert!(w.summary().contains(w.detailed().start()));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObservationWindow {
+    summary: TimeRange,
+    detailed: TimeRange,
+    calendar: Calendar,
+}
+
+impl ObservationWindow {
+    /// The paper's layout: 151 summary days (~5 months), with the last
+    /// 49 days (7 weeks) retained in detail. Day 0 is a Friday.
+    pub fn paper() -> ObservationWindow {
+        ObservationWindow::new(151, 49, Calendar::PAPER)
+    }
+
+    /// A compact layout for tests and benches: 6 summary weeks with the last
+    /// 2 weeks detailed.
+    pub fn compact() -> ObservationWindow {
+        ObservationWindow::new(42, 14, Calendar::PAPER)
+    }
+
+    /// A window of `summary_days` total days whose final `detailed_days` days
+    /// keep detailed logs.
+    ///
+    /// # Panics
+    /// Panics if `detailed_days > summary_days` or either is zero.
+    pub fn new(summary_days: u64, detailed_days: u64, calendar: Calendar) -> ObservationWindow {
+        assert!(summary_days > 0, "summary window must be non-empty");
+        assert!(detailed_days > 0, "detailed window must be non-empty");
+        assert!(
+            detailed_days <= summary_days,
+            "detailed window ({detailed_days}d) exceeds summary window ({summary_days}d)"
+        );
+        let summary = TimeRange::first_days(summary_days);
+        let detailed = TimeRange::new(
+            SimTime::from_days(summary_days - detailed_days),
+            SimTime::from_days(summary_days),
+        );
+        ObservationWindow {
+            summary,
+            detailed,
+            calendar,
+        }
+    }
+
+    /// The full summary window.
+    #[inline]
+    pub fn summary(&self) -> TimeRange {
+        self.summary
+    }
+
+    /// The detailed tail window.
+    #[inline]
+    pub fn detailed(&self) -> TimeRange {
+        self.detailed
+    }
+
+    /// The calendar anchoring weekdays.
+    #[inline]
+    pub fn calendar(&self) -> Calendar {
+        self.calendar
+    }
+
+    /// The first 7 days of the summary window (the "first week" cohort of
+    /// Fig. 2(b)).
+    pub fn first_week(&self) -> TimeRange {
+        TimeRange::new(
+            self.summary.start(),
+            self.summary.start() + crate::SimDuration::from_days(7),
+        )
+    }
+
+    /// The last 7 days of the summary window (the "last week" cohort of
+    /// Fig. 2(b)).
+    pub fn last_week(&self) -> TimeRange {
+        TimeRange::new(
+            self.summary.end() - crate::SimDuration::from_days(7),
+            self.summary.end(),
+        )
+    }
+
+    /// `true` if instant `t` falls in the detailed window.
+    #[inline]
+    pub fn in_detail(&self, t: SimTime) -> bool {
+        self.detailed.contains(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Weekday;
+
+    #[test]
+    fn paper_layout() {
+        let w = ObservationWindow::paper();
+        assert_eq!(w.summary().num_days(), 151);
+        assert_eq!(w.detailed().num_days(), 49);
+        assert_eq!(w.detailed().end(), w.summary().end());
+        assert_eq!(w.calendar().day0(), Weekday::Friday);
+    }
+
+    #[test]
+    fn detailed_is_suffix_of_summary() {
+        let w = ObservationWindow::new(30, 10, Calendar::PAPER);
+        assert_eq!(w.detailed().start(), SimTime::from_days(20));
+        assert_eq!(w.detailed().end(), SimTime::from_days(30));
+        assert_eq!(w.summary().intersect(w.detailed()), w.detailed());
+    }
+
+    #[test]
+    fn first_and_last_week() {
+        let w = ObservationWindow::new(30, 10, Calendar::PAPER);
+        assert_eq!(w.first_week().start(), SimTime::EPOCH);
+        assert_eq!(w.first_week().num_days(), 7);
+        assert_eq!(w.last_week().end(), SimTime::from_days(30));
+        assert_eq!(w.last_week().num_days(), 7);
+    }
+
+    #[test]
+    fn in_detail_respects_bounds() {
+        let w = ObservationWindow::new(30, 10, Calendar::PAPER);
+        assert!(!w.in_detail(SimTime::from_days(19)));
+        assert!(w.in_detail(SimTime::from_days(20)));
+        assert!(w.in_detail(SimTime::from_days(29)));
+        assert!(!w.in_detail(SimTime::from_days(30)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds summary window")]
+    fn detailed_longer_than_summary_panics() {
+        let _ = ObservationWindow::new(10, 20, Calendar::PAPER);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_summary_panics() {
+        let _ = ObservationWindow::new(0, 0, Calendar::PAPER);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for simtime invariants.
+
+use proptest::prelude::*;
+use wearscope_simtime::{Calendar, SimDuration, SimTime, TimeRange, Weekday};
+
+proptest! {
+    /// Adding then subtracting a duration is the identity.
+    #[test]
+    fn add_sub_roundtrip(base in 0u64..1_000_000_000, delta in 0u64..1_000_000) {
+        let t = SimTime::from_secs(base);
+        let d = SimDuration::from_secs(delta);
+        prop_assert_eq!((t + d) - d, t);
+    }
+
+    /// day/hour/week indices are consistent with each other.
+    #[test]
+    fn index_consistency(secs in 0u64..10_000_000_000) {
+        let t = SimTime::from_secs(secs);
+        prop_assert_eq!(t.week_index(), t.day_index() / 7);
+        prop_assert_eq!(t.hour_index() / 24, t.day_index());
+        prop_assert!(t.hour_of_day() < 24);
+        prop_assert!(t.minute_of_hour() < 60);
+        prop_assert!(t.second_of_minute() < 60);
+    }
+
+    /// Floors never move time forward and land on exact boundaries.
+    #[test]
+    fn floor_properties(secs in 0u64..10_000_000_000) {
+        let t = SimTime::from_secs(secs);
+        prop_assert!(t.floor_day() <= t);
+        prop_assert!(t.floor_hour() <= t);
+        prop_assert!(t.floor_week() <= t);
+        prop_assert_eq!(t.floor_day().secs_of_day(), 0);
+        prop_assert_eq!(t.floor_hour().minute_of_hour(), 0);
+        prop_assert_eq!(t.floor_week().day_index() % 7, 0);
+        prop_assert!(t.floor_week() <= t.floor_day());
+        prop_assert!(t.floor_day() <= t.floor_hour());
+    }
+
+    /// Weekday cycling: +7 days is the identity, weekend is exactly 2/7.
+    #[test]
+    fn weekday_cycle(day in 0u64..10_000, anchor in 0usize..7) {
+        let cal = Calendar::starting_on(Weekday::ALL[anchor]);
+        prop_assert_eq!(cal.weekday_of_day(day), cal.weekday_of_day(day + 7));
+        let weekends = (day..day + 7).filter(|&d| cal.day_is_weekend(d)).count();
+        prop_assert_eq!(weekends, 2);
+    }
+
+    /// A range's day iterator covers exactly the days of every contained instant.
+    #[test]
+    fn day_iter_covers_contents(start in 0u64..1_000_000, len in 1u64..1_000_000) {
+        let r = TimeRange::new(SimTime::from_secs(start), SimTime::from_secs(start + len));
+        let days: Vec<u64> = r.days().collect();
+        prop_assert_eq!(days.len() as u64, r.num_days());
+        // First and last instants' days are covered.
+        prop_assert_eq!(days.first().copied(), Some(r.start().day_index()));
+        let last_instant = SimTime::from_secs(start + len - 1);
+        prop_assert_eq!(days.last().copied(), Some(last_instant.day_index()));
+        // Days are consecutive.
+        for w in days.windows(2) {
+            prop_assert_eq!(w[1], w[0] + 1);
+        }
+    }
+
+    /// Intersection is commutative and contained in both operands.
+    #[test]
+    fn intersect_properties(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000, d in 0u64..1000) {
+        let r1 = TimeRange::new(SimTime::from_secs(a.min(b)), SimTime::from_secs(a.max(b)));
+        let r2 = TimeRange::new(SimTime::from_secs(c.min(d)), SimTime::from_secs(c.max(d)));
+        let i12 = r1.intersect(r2);
+        prop_assert!(i12.duration() <= r1.duration());
+        prop_assert!(i12.duration() <= r2.duration());
+        // Every instant in the intersection is in both.
+        if !i12.is_empty() {
+            let mid = SimTime::from_secs((i12.start().as_secs() + i12.end().as_secs()) / 2);
+            prop_assert!(r1.contains(mid) && r2.contains(mid));
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Scenario configuration and the calibration table.
+//!
+//! Every number the paper reports appears here as a generator target, so a
+//! single struct documents the full calibration (DESIGN.md §6) and the
+//! analysis tests close the loop by re-deriving these values from the logs.
+
+use wearscope_geo::LayoutConfig;
+use wearscope_simtime::ObservationWindow;
+
+/// Behaviour calibration: defaults are the paper's reported values.
+#[derive(Clone, Debug)]
+pub struct Calibration {
+    // --- Adoption (Sec. 4.1, Fig. 2) ------------------------------------
+    /// Net monthly growth of registered SIM-wearable users (+1.5 %/month).
+    pub monthly_growth: f64,
+    /// Fraction of the first-week cohort that has churned by the last week
+    /// (7 %).
+    pub cohort_churn: f64,
+    /// Share of users whose wearable registers essentially daily.
+    pub regular_registration_share: f64,
+    /// Daily registration probability for the remaining occasional users.
+    pub occasional_daily_reg_prob: f64,
+    /// Fraction of registered users that ever generate cellular traffic
+    /// (34 %).
+    pub data_active_fraction: f64,
+
+    // --- Activity (Sec. 4.2–4.3, Fig. 3) --------------------------------
+    /// Beta(α, β) for the per-user daily activity probability; mean α/(α+β)
+    /// ≈ 1/7 gives "active about 1 day a week".
+    pub active_day_beta: (f64, f64),
+    /// Median of the per-user active-hours-per-day log-normal (hours).
+    pub hours_median: f64,
+    /// Sigma of the active-hours log-normal.
+    pub hours_sigma: f64,
+    /// Sigma of the per-user intensity scale that couples activity span and
+    /// transaction rate (drives the Fig. 3(d)/4(d) correlations).
+    pub intensity_sigma: f64,
+    /// Mean app-usage sessions per active hour for unit intensity.
+    pub sessions_per_active_hour: f64,
+
+    // --- Apps (Sec. 4.3, 5) ----------------------------------------------
+    /// Median of the installed-with-internet apps count log-normal (mean ≈ 8,
+    /// 90 % < 20, tail > 100).
+    pub installed_apps_median: f64,
+    /// Sigma of the installed-apps log-normal.
+    pub installed_apps_sigma: f64,
+    /// Poisson mean of *extra* distinct apps used per active day beyond the
+    /// first (93 % of user-days use a single app).
+    pub extra_apps_per_day: f64,
+
+    // --- Comparison population (Sec. 4.3, Fig. 4(a,b)) -------------------
+    /// Median smartphone transactions per day.
+    pub phone_tx_per_day_median: f64,
+    /// Sigma of the per-user phone transaction rate log-normal.
+    pub phone_tx_sigma: f64,
+    /// Median bytes of one (bundled) smartphone transaction record.
+    pub phone_bytes_median: f64,
+    /// Sigma of phone transaction bytes.
+    pub phone_bytes_sigma: f64,
+    /// Wearable owners generate this factor more phone transactions (+48 %).
+    pub owner_tx_factor: f64,
+    /// Wearable owners move this factor more total bytes (+26 %).
+    pub owner_bytes_factor: f64,
+
+    // --- Mobility (Sec. 4.4, Fig. 4(c,d)) ---------------------------------
+    /// Probability a wearable user stays at home all day.
+    pub wearable_stationary_prob: f64,
+    /// Median commute distance for wearable users, km.
+    pub wearable_commute_median_km: f64,
+    /// Probability of a long trip on a wearable user-day.
+    pub wearable_trip_prob: f64,
+    /// Probability a comparison user stays home all day.
+    pub other_stationary_prob: f64,
+    /// Median commute distance for comparison users, km.
+    pub other_commute_median_km: f64,
+    /// Probability of a long trip on a comparison user-day.
+    pub other_trip_prob: f64,
+    /// Sigma of the commute-distance log-normal (both classes).
+    pub commute_sigma: f64,
+    /// Long trips are uniform in this km range.
+    pub trip_km: (f64, f64),
+    /// Share of data-active wearable users whose cellular transactions all
+    /// happen from their home location (60 %).
+    pub home_user_share: f64,
+
+    // --- Through-Device wearables (Sec. 6) --------------------------------
+    /// Share of Through-Device owners whose traffic is fingerprintable
+    /// (~16 %).
+    pub fingerprintable_share: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Calibration {
+        Calibration {
+            monthly_growth: 0.015,
+            cohort_churn: 0.07,
+            regular_registration_share: 0.70,
+            occasional_daily_reg_prob: 0.07,
+            data_active_fraction: 0.34,
+            active_day_beta: (0.8, 4.8),
+            hours_median: 2.2,
+            hours_sigma: 0.9,
+            intensity_sigma: 0.55,
+            sessions_per_active_hour: 1.3,
+            installed_apps_median: 6.0,
+            installed_apps_sigma: 0.9,
+            extra_apps_per_day: 0.08,
+            phone_tx_per_day_median: 16.0,
+            phone_tx_sigma: 0.6,
+            phone_bytes_median: 340_000.0,
+            phone_bytes_sigma: 1.3,
+            owner_tx_factor: 1.48,
+            owner_bytes_factor: 1.26,
+            wearable_stationary_prob: 0.25,
+            wearable_commute_median_km: 14.0,
+            wearable_trip_prob: 0.04,
+            other_stationary_prob: 0.32,
+            other_commute_median_km: 8.0,
+            other_trip_prob: 0.025,
+            commute_sigma: 0.7,
+            trip_km: (80.0, 350.0),
+            home_user_share: 0.60,
+            fingerprintable_share: 0.16,
+        }
+    }
+}
+
+/// Full scenario configuration.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Master seed; the whole world is a pure function of it.
+    pub seed: u64,
+    /// Observation window (summary + detailed).
+    pub window: ObservationWindow,
+    /// SIM-enabled wearable users at the *end* of the observation.
+    pub wearable_users: u32,
+    /// Comparison users (the "remaining customers", mostly smartphones).
+    pub comparison_users: u32,
+    /// Through-Device wearable owners (subset of smartphone population kept
+    /// separate for the Sec. 6 analysis).
+    pub through_device_users: u32,
+    /// Synthetic country layout.
+    pub layout: LayoutConfig,
+    /// Sectors deployed in the largest city.
+    pub sectors_in_largest_city: u32,
+    /// Rural sectors.
+    pub rural_sectors: u32,
+    /// Number of generator worker threads (1 = sequential).
+    pub workers: usize,
+    /// Behaviour calibration.
+    pub calibration: Calibration,
+}
+
+impl ScenarioConfig {
+    /// The paper-scale default: full 151-day window, thousands of users.
+    pub fn paper(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            window: ObservationWindow::paper(),
+            wearable_users: 1_500,
+            comparison_users: 3_000,
+            through_device_users: 600,
+            layout: LayoutConfig::default(),
+            sectors_in_largest_city: 120,
+            rural_sectors: 150,
+            workers: 4,
+            calibration: Calibration::default(),
+        }
+    }
+
+    /// A compact scenario for tests and benches: 6 summary weeks (2 detailed)
+    /// and a few hundred users.
+    pub fn compact(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            window: ObservationWindow::compact(),
+            wearable_users: 300,
+            comparison_users: 500,
+            through_device_users: 120,
+            layout: LayoutConfig::compact(),
+            sectors_in_largest_city: 30,
+            rural_sectors: 30,
+            workers: 2,
+            calibration: Calibration::default(),
+        }
+    }
+
+    /// Total subscribers of all classes.
+    pub fn total_users(&self) -> u32 {
+        self.wearable_users + self.comparison_users + self.through_device_users
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_numbers() {
+        let c = Calibration::default();
+        assert_eq!(c.monthly_growth, 0.015);
+        assert_eq!(c.cohort_churn, 0.07);
+        assert_eq!(c.data_active_fraction, 0.34);
+        assert_eq!(c.home_user_share, 0.60);
+        assert_eq!(c.owner_tx_factor, 1.48);
+        assert_eq!(c.owner_bytes_factor, 1.26);
+        assert_eq!(c.fingerprintable_share, 0.16);
+        // Activity: mean of Beta(α, β) ≈ 1/7 → "active one day a week".
+        let (a, b) = c.active_day_beta;
+        let mean = a / (a + b);
+        assert!((mean - 1.0 / 7.0).abs() < 0.01, "beta mean {mean}");
+    }
+
+    #[test]
+    fn presets_are_consistent() {
+        let p = ScenarioConfig::paper(1);
+        assert_eq!(p.window.summary().num_days(), 151);
+        assert_eq!(p.total_users(), 5_100);
+        let c = ScenarioConfig::compact(1);
+        assert!(c.total_users() < p.total_users());
+        assert!(c.window.summary().num_days() < p.window.summary().num_days());
+    }
+
+    #[test]
+    fn wearables_more_mobile_than_others_by_construction() {
+        let c = Calibration::default();
+        assert!(c.wearable_commute_median_km > c.other_commute_median_km);
+        assert!(c.wearable_stationary_prob < c.other_stationary_prob);
+        assert!(c.wearable_trip_prob > c.other_trip_prob);
+    }
+}

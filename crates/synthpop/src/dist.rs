@@ -1,0 +1,339 @@
+//! Distribution samplers used by the behaviour generators.
+//!
+//! `rand` 0.9 ships only uniform sampling offline, so the classic
+//! transforms are implemented here: Box–Muller normals, log-normals,
+//! exponentials, Poisson (inversion + PTRS for large λ), geometric,
+//! Marsaglia–Tsang gamma, and beta via gamma. Each sampler is unit-tested
+//! against its analytic moments.
+//!
+//! Seeding follows the *splittable* pattern: [`split_seed`] derives
+//! statistically independent child seeds from a parent seed and a stream
+//! index (SplitMix64), so each (user, day) pair owns a private RNG and any
+//! slice of the population regenerates identically in isolation — the basis
+//! for parallel generation.
+
+use rand::Rng;
+
+/// Derives an independent child seed from `parent` and a stream index
+/// (SplitMix64 finalizer over the combined value).
+pub fn split_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(stream.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A standard normal sample (Box–Muller, cosine branch).
+pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-300);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A normal sample with the given mean and standard deviation.
+pub fn normal_with<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * normal(rng)
+}
+
+/// A log-normal sample parameterized by its *median* and log-space sigma.
+///
+/// `ln X ~ N(ln median, sigma²)`, hence `E[X] = median · exp(sigma²/2)`.
+pub fn lognormal_median<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    debug_assert!(median > 0.0 && sigma >= 0.0);
+    (median.ln() + sigma * normal(rng)).exp()
+}
+
+/// An exponential sample with the given mean.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0);
+    -mean * rng.random::<f64>().max(1e-300).ln()
+}
+
+/// A Poisson sample with mean `lambda`.
+///
+/// Inversion by sequential search for small λ; for λ ≥ 30 a normal
+/// approximation with continuity correction (adequate for traffic counts).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    debug_assert!(lambda >= 0.0);
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.random();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.random::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        let x = normal_with(rng, lambda, lambda.sqrt());
+        x.round().max(0.0) as u64
+    }
+}
+
+/// A geometric sample counting trials until first success (support `1..`),
+/// parameterized by its mean `m ≥ 1` (success probability `1/m`).
+pub fn geometric_mean<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    debug_assert!(mean >= 1.0);
+    if mean <= 1.0 {
+        return 1;
+    }
+    let p = 1.0 / mean;
+    // Inversion: ceil(ln U / ln(1 - p)).
+    let u: f64 = rng.random::<f64>().max(1e-300);
+    (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
+}
+
+/// A gamma sample with shape `k > 0` and scale `theta > 0`
+/// (Marsaglia–Tsang, with the Johnk-style boost for `k < 1`).
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, k: f64, theta: f64) -> f64 {
+    debug_assert!(k > 0.0 && theta > 0.0);
+    if k < 1.0 {
+        // Boost: Gamma(k) = Gamma(k+1) · U^{1/k}.
+        let u: f64 = rng.random::<f64>().max(1e-300);
+        return gamma(rng, k + 1.0, theta) * u.powf(1.0 / k);
+    }
+    let d = k - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random::<f64>().max(1e-300);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v * theta;
+        }
+    }
+}
+
+/// A beta(α, β) sample via two gammas.
+pub fn beta<R: Rng + ?Sized>(rng: &mut R, alpha: f64, b: f64) -> f64 {
+    let x = gamma(rng, alpha, 1.0);
+    let y = gamma(rng, b, 1.0);
+    x / (x + y)
+}
+
+/// Bernoulli trial.
+pub fn coin<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.random::<f64>() < p
+}
+
+/// Samples an index from unnormalized non-negative weights.
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weighted_index over empty weights");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weighted_index needs positive total weight");
+    let mut x = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Samples `k` distinct indices from unnormalized weights (weighted sampling
+/// without replacement). Returns fewer than `k` when there aren't `k`
+/// positive-weight indices.
+pub fn weighted_sample_distinct<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[f64],
+    k: usize,
+) -> Vec<usize> {
+    let mut remaining: Vec<f64> = weights.to_vec();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let total: f64 = remaining.iter().sum();
+        if total <= 0.0 {
+            break;
+        }
+        let mut x = rng.random::<f64>() * total;
+        let mut chosen = remaining.len() - 1;
+        for (i, w) in remaining.iter().enumerate() {
+            if x < *w {
+                chosen = i;
+                break;
+            }
+            x -= w;
+        }
+        out.push(chosen);
+        remaining[chosen] = 0.0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5745_4152_5343_4f50) // "WEARSCOP"
+    }
+
+    fn mean_sd(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn split_seed_decorrelates_streams() {
+        let a = split_seed(42, 0);
+        let b = split_seed(42, 1);
+        let c = split_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Deterministic.
+        assert_eq!(split_seed(42, 0), a);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| normal(&mut rng)).collect();
+        let (m, s) = mean_sd(&xs);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((s - 1.0).abs() < 0.02, "sd {s}");
+    }
+
+    #[test]
+    fn lognormal_median_is_median() {
+        let mut rng = rng();
+        let mut xs: Vec<f64> = (0..50_000)
+            .map(|_| lognormal_median(&mut rng, 3000.0, 1.4))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median / 3000.0 - 1.0).abs() < 0.05, "median {median}");
+        // Mean should be median · exp(σ²/2) ≈ 2.66 · median.
+        let (m, _) = mean_sd(&xs);
+        assert!((m / (3000.0 * (1.4f64.powi(2) / 2.0).exp()) - 1.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| exponential(&mut rng, 7.5)).collect();
+        let (m, _) = mean_sd(&xs);
+        assert!((m - 7.5).abs() < 0.15, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_small_and_large_lambda() {
+        let mut rng = rng();
+        for lambda in [0.3, 3.0, 25.0, 80.0] {
+            let xs: Vec<f64> = (0..30_000)
+                .map(|_| poisson(&mut rng, lambda) as f64)
+                .collect();
+            let (m, s) = mean_sd(&xs);
+            assert!((m - lambda).abs() < 0.05 * lambda + 0.05, "λ={lambda} mean {m}");
+            assert!(
+                (s * s - lambda).abs() < 0.12 * lambda + 0.1,
+                "λ={lambda} var {}",
+                s * s
+            );
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let mut rng = rng();
+        for mean in [1.0, 2.0, 5.5] {
+            let xs: Vec<f64> = (0..40_000)
+                .map(|_| geometric_mean(&mut rng, mean) as f64)
+                .collect();
+            let (m, _) = mean_sd(&xs);
+            assert!((m - mean).abs() < 0.06 * mean + 0.02, "mean {mean} got {m}");
+            assert!(xs.iter().all(|&x| x >= 1.0));
+        }
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut rng = rng();
+        for (k, theta) in [(0.5, 2.0), (1.0, 1.0), (3.0, 0.5), (9.0, 2.0)] {
+            let xs: Vec<f64> = (0..40_000).map(|_| gamma(&mut rng, k, theta)).collect();
+            let (m, s) = mean_sd(&xs);
+            assert!((m - k * theta).abs() < 0.05 * k * theta + 0.02, "k={k} mean {m}");
+            let want_var = k * theta * theta;
+            assert!(
+                (s * s - want_var).abs() < 0.15 * want_var + 0.02,
+                "k={k} var {}",
+                s * s
+            );
+        }
+    }
+
+    #[test]
+    fn beta_mean() {
+        let mut rng = rng();
+        let (a, b) = (0.8, 4.8);
+        let xs: Vec<f64> = (0..40_000).map(|_| beta(&mut rng, a, b)).collect();
+        let (m, _) = mean_sd(&xs);
+        assert!((m - a / (a + b)).abs() < 0.01, "mean {m}");
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = rng();
+        let w = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[weighted_index(&mut rng, &w)] += 1;
+        }
+        let total: usize = counts.iter().sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let observed = c as f64 / total as f64;
+            let expected = w[i] / 10.0;
+            assert!((observed - expected).abs() < 0.015, "idx {i}: {observed}");
+        }
+    }
+
+    #[test]
+    fn weighted_sample_distinct_no_repeats() {
+        let mut rng = rng();
+        let w = vec![1.0; 20];
+        for _ in 0..200 {
+            let picks = weighted_sample_distinct(&mut rng, &w, 8);
+            assert_eq!(picks.len(), 8);
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 8);
+        }
+        // Requesting more than available positive weights truncates.
+        let w = vec![1.0, 0.0, 2.0];
+        let picks = weighted_sample_distinct(&mut rng, &w, 5);
+        assert_eq!(picks.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn weighted_index_empty_panics() {
+        let mut rng = rng();
+        let _ = weighted_index(&mut rng, &[]);
+    }
+
+    #[test]
+    fn coin_probability() {
+        let mut rng = rng();
+        let hits = (0..40_000).filter(|_| coin(&mut rng, 0.34)).count();
+        let p = hits as f64 / 40_000.0;
+        assert!((p - 0.34).abs() < 0.01, "p {p}");
+    }
+}

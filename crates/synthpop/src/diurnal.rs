@@ -1,0 +1,128 @@
+//! Diurnal activity profiles.
+//!
+//! Fig. 3(a) shows wearable activity tracking waking hours with weekday
+//! commute bumps (4–9 am and 4–8 pm) that disappear on weekends. These hour
+//! weights encode that shape; active hours and transaction times are drawn
+//! from them.
+
+use rand::Rng;
+
+use crate::dist;
+
+/// Relative activity weight per hour of day on weekdays (commute bumps).
+pub const WEEKDAY: [f64; 24] = [
+    0.25, 0.15, 0.10, 0.10, 0.18, 0.45, 1.05, 1.55, 1.45, 1.05, // 0-9: morning commute ramp
+    1.00, 1.05, 1.15, 1.05, 1.00, 1.05, 1.35, 1.65, 1.55, 1.25, // 10-19: evening commute bump
+    1.05, 0.90, 0.65, 0.40, // 20-23: wind down
+];
+
+/// Relative activity weight per hour of day on weekends (no commute bumps,
+/// slightly later and flatter).
+pub const WEEKEND: [f64; 24] = [
+    0.35, 0.25, 0.15, 0.10, 0.10, 0.15, 0.35, 0.60, 0.85, 1.05, //
+    1.20, 1.25, 1.25, 1.20, 1.15, 1.15, 1.20, 1.25, 1.30, 1.30, //
+    1.20, 1.05, 0.80, 0.50,
+];
+
+/// Hours a commuting user spends at home on a weekday (before leaving and
+/// after returning). Home-only users draw their active hours from here.
+pub const HOME_HOURS_WEEKDAY: [f64; 24] = [
+    0.30, 0.15, 0.10, 0.10, 0.20, 0.60, 1.30, 0.90, 0.0, 0.0, //
+    0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.40, 1.40, 1.50, //
+    1.40, 1.20, 0.90, 0.50,
+];
+
+/// The profile for the given day kind.
+pub fn hour_weights(weekend: bool) -> &'static [f64; 24] {
+    if weekend {
+        &WEEKEND
+    } else {
+        &WEEKDAY
+    }
+}
+
+/// The profile restricted to at-home hours for home-only users.
+pub fn home_hour_weights(weekend: bool) -> &'static [f64; 24] {
+    if weekend {
+        // Weekends are spent at home for home-only users: full profile.
+        &WEEKEND
+    } else {
+        &HOME_HOURS_WEEKDAY
+    }
+}
+
+/// Samples `k` *distinct* hours of day from a weight profile.
+pub fn sample_hours<R: Rng + ?Sized>(rng: &mut R, k: usize, weights: &[f64; 24]) -> Vec<u8> {
+    dist::weighted_sample_distinct(rng, weights, k.min(24))
+        .into_iter()
+        .map(|h| h as u8)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weekday_has_commute_bumps() {
+        // Morning commute hours outweigh the late-morning trough.
+        assert!(WEEKDAY[7] > 1.3 * WEEKDAY[10]);
+        assert!(WEEKDAY[17] > 1.3 * WEEKDAY[14]);
+        // Weekend does not.
+        assert!(WEEKEND[7] < WEEKEND[11]);
+        assert!((WEEKEND[17] - WEEKEND[14]).abs() < 0.3);
+    }
+
+    #[test]
+    fn night_is_quiet() {
+        for h in [1, 2, 3] {
+            assert!(WEEKDAY[h] < 0.3);
+            assert!(WEEKEND[h] < 0.3);
+        }
+    }
+
+    #[test]
+    fn home_profile_excludes_office_hours() {
+        for h in 9..17 {
+            assert_eq!(HOME_HOURS_WEEKDAY[h], 0.0, "hour {h}");
+        }
+        assert!(HOME_HOURS_WEEKDAY[19] > 1.0);
+    }
+
+    #[test]
+    fn sample_hours_distinct_and_weighted() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let hours = sample_hours(&mut rng, 5, &WEEKDAY);
+            assert_eq!(hours.len(), 5);
+            let mut sorted = hours.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5);
+            assert!(hours.iter().all(|&h| h < 24));
+        }
+        // Peak hours should be sampled far more often than 3 am.
+        let mut count_17 = 0;
+        let mut count_3 = 0;
+        for _ in 0..2000 {
+            for h in sample_hours(&mut rng, 3, &WEEKDAY) {
+                if h == 17 {
+                    count_17 += 1;
+                }
+                if h == 3 {
+                    count_3 += 1;
+                }
+            }
+        }
+        assert!(count_17 > 4 * count_3, "17h {count_17} vs 3h {count_3}");
+    }
+
+    #[test]
+    fn oversampling_clamps_to_24() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hours = sample_hours(&mut rng, 40, &WEEKEND);
+        assert_eq!(hours.len(), 24);
+    }
+}

@@ -1,0 +1,241 @@
+//! Per-day mobility plans.
+//!
+//! A day plan is a small sequence of `(second-of-day, location)` anchors:
+//! home overnight, optionally a commute to work, errands, or a long trip.
+//! Anchors are mapped to the nearest antenna sector and become MME
+//! `Move` events; the span of anchors drives max displacement (Fig. 4(c))
+//! and the dwell times drive location entropy.
+
+use rand::Rng;
+
+use wearscope_geo::GeoPoint;
+use wearscope_simtime::SECS_PER_HOUR;
+
+use crate::dist;
+use crate::subscriber::Subscriber;
+
+/// Where a subscriber is over one day.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DayPlan {
+    /// `(second of day, location)` anchors, strictly increasing in time,
+    /// starting at second 0 (overnight location).
+    pub anchors: Vec<(u64, GeoPoint)>,
+}
+
+/// What kind of day the plan encodes (exposed for tests/ablations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DayKind {
+    /// At home all day.
+    Stationary,
+    /// Home → work → home.
+    Commute,
+    /// Home → far away → home.
+    Trip,
+    /// Home with a short errand.
+    Errand,
+}
+
+impl DayPlan {
+    /// The location at `sec_of_day` (the last anchor at or before it).
+    pub fn location_at(&self, sec_of_day: u64) -> GeoPoint {
+        let mut current = self.anchors[0].1;
+        for &(s, p) in &self.anchors {
+            if s <= sec_of_day {
+                current = p;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// `true` if the user is at their overnight location at `sec_of_day`.
+    pub fn at_home(&self, sec_of_day: u64) -> bool {
+        self.location_at(sec_of_day) == self.anchors[0].1
+    }
+}
+
+/// Generates one subscriber-day plan.
+///
+/// Intensity couples into the trip/commute decision mildly so that more
+/// intense users (who also transact more per hour) travel farther — the
+/// correlation of Fig. 4(d).
+pub fn day_plan<R: Rng + ?Sized>(rng: &mut R, sub: &Subscriber, weekend: bool) -> (DayKind, DayPlan) {
+    let home = sub.home;
+    let jitter_min = |rng: &mut R, base_h: f64, sd_min: f64| -> u64 {
+        let t = base_h * SECS_PER_HOUR as f64 + dist::normal_with(rng, 0.0, sd_min * 60.0);
+        t.clamp(0.0, 23.9 * SECS_PER_HOUR as f64) as u64
+    };
+
+    // Long trip?
+    if dist::coin(rng, sub.trip_prob) {
+        let d = rng.random_range(80.0..350.0) * sub.intensity.clamp(0.5, 2.0).sqrt();
+        let theta = rng.random::<f64>() * std::f64::consts::TAU;
+        let away = home.offset_km(d * theta.cos(), d * theta.sin());
+        let leave = jitter_min(rng, 8.0, 45.0);
+        let back = jitter_min(rng, 19.0, 60.0).max(leave + SECS_PER_HOUR);
+        return (
+            DayKind::Trip,
+            DayPlan {
+                anchors: vec![(0, home), (leave, away), (back, home)],
+            },
+        );
+    }
+
+    // Stationary day (more likely on weekends).
+    let stationary_p = if weekend {
+        (sub.stationary_prob + 0.25).min(0.95)
+    } else {
+        sub.stationary_prob
+    };
+    if dist::coin(rng, stationary_p) {
+        return (
+            DayKind::Stationary,
+            DayPlan {
+                anchors: vec![(0, home)],
+            },
+        );
+    }
+
+    if weekend {
+        // Errand: a short hop within ~5 km.
+        let d = dist::exponential(rng, 2.5).min(12.0) + 0.5;
+        let theta = rng.random::<f64>() * std::f64::consts::TAU;
+        let shop = home.offset_km(d * theta.cos(), d * theta.sin());
+        let out = jitter_min(rng, 11.0, 90.0);
+        let back = jitter_min(rng, 14.0, 90.0).max(out + SECS_PER_HOUR / 2);
+        return (
+            DayKind::Errand,
+            DayPlan {
+                anchors: vec![(0, home), (out, shop), (back, home)],
+            },
+        );
+    }
+
+    // Weekday commute.
+    let leave = jitter_min(rng, 7.8, 40.0);
+    let back = jitter_min(rng, 17.8, 50.0).max(leave + SECS_PER_HOUR);
+    let mut anchors = vec![(0, home), (leave, sub.work), (back, home)];
+    // Occasional lunchtime errand near work.
+    if dist::coin(rng, 0.15) {
+        let d = dist::exponential(rng, 1.0).min(4.0) + 0.2;
+        let theta = rng.random::<f64>() * std::f64::consts::TAU;
+        let lunch = sub.work.offset_km(d * theta.cos(), d * theta.sin());
+        let out = jitter_min(rng, 12.8, 20.0).clamp(leave + 600, back.saturating_sub(1200));
+        let ret = (out + SECS_PER_HOUR / 2).min(back.saturating_sub(600));
+        if out > leave && ret > out {
+            anchors = vec![(0, home), (leave, sub.work), (out, lunch), (ret, sub.work), (back, home)];
+        }
+    }
+    (DayKind::Commute, DayPlan { anchors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subscriber::{Subscriber, SubscriberKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wearscope_trace::UserId;
+
+    fn sub(stationary: f64, trip: f64) -> Subscriber {
+        Subscriber {
+            user: UserId(1),
+            kind: SubscriberKind::WearableOwner,
+            phone_imei: 1,
+            wearable_imei: Some(2),
+            wearable_model: None,
+            through_kind: None,
+            fingerprintable: false,
+            arrival_day: 0,
+            churn_day: None,
+            regular_registration: true,
+            occasional_reg_prob: 0.07,
+            data_active: true,
+            inactivity: None,
+            active_day_prob: 0.14,
+            hours_median: 2.2,
+            intensity: 1.0,
+            home_user: false,
+            installed_apps: vec![],
+            home_city: 0,
+            home: GeoPoint::new(40.0, -3.0),
+            work: GeoPoint::new(40.1, -3.1),
+            stationary_prob: stationary,
+            trip_prob: trip,
+            phone_tx_per_day: 22.0,
+            phone_bytes_median: 250_000.0,
+        }
+    }
+
+    #[test]
+    fn anchors_start_at_midnight_and_increase() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for weekend in [false, true] {
+            for _ in 0..300 {
+                let (_, plan) = day_plan(&mut rng, &sub(0.3, 0.05), weekend);
+                assert_eq!(plan.anchors[0].0, 0);
+                for w in plan.anchors.windows(2) {
+                    assert!(w[1].0 > w[0].0, "anchors not increasing: {plan:?}");
+                    assert!(w[1].0 < 24 * SECS_PER_HOUR);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_user_stays_home() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (kind, plan) = day_plan(&mut rng, &sub(1.0, 0.0), false);
+        assert_eq!(kind, DayKind::Stationary);
+        assert_eq!(plan.anchors.len(), 1);
+        assert!(plan.at_home(12 * SECS_PER_HOUR));
+    }
+
+    #[test]
+    fn commute_day_visits_work() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = sub(0.0, 0.0);
+        let (kind, plan) = day_plan(&mut rng, &s, false);
+        assert_eq!(kind, DayKind::Commute);
+        // Midday location is near work, not home.
+        let midday = plan.location_at(11 * SECS_PER_HOUR);
+        assert!(midday.distance_km(s.work) < 6.0);
+        assert!(!plan.at_home(11 * SECS_PER_HOUR));
+        // Early morning and late night at home.
+        assert!(plan.at_home(3 * SECS_PER_HOUR));
+        assert!(plan.at_home(23 * SECS_PER_HOUR));
+    }
+
+    #[test]
+    fn trip_day_goes_far() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = sub(0.0, 1.0);
+        let (kind, plan) = day_plan(&mut rng, &s, false);
+        assert_eq!(kind, DayKind::Trip);
+        let far = plan.location_at(12 * SECS_PER_HOUR);
+        assert!(far.distance_km(s.home) > 40.0, "trip only {} km", far.distance_km(s.home));
+    }
+
+    #[test]
+    fn location_at_before_first_non_zero_anchor_is_home() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = sub(0.0, 0.0);
+        let (_, plan) = day_plan(&mut rng, &s, false);
+        assert_eq!(plan.location_at(0), s.home);
+    }
+
+    #[test]
+    fn weekends_have_no_work_visits() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let s = sub(0.0, 0.0);
+        for _ in 0..100 {
+            let (kind, plan) = day_plan(&mut rng, &s, true);
+            assert!(matches!(kind, DayKind::Stationary | DayKind::Errand));
+            for (_, p) in &plan.anchors {
+                // Errands stay near home; work is ~14 km away.
+                assert!(p.distance_km(s.home) < 13.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! Builds the synthetic subscriber population.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wearscope_appdb::{AppCatalog, AppId, ThroughDeviceKind};
+use wearscope_devicedb::{DeviceClass, DeviceDb};
+use wearscope_geo::{CountryLayout, GeoPoint};
+use wearscope_trace::UserId;
+
+use crate::config::ScenarioConfig;
+use crate::dist;
+use crate::subscriber::{InactivityReason, Subscriber, SubscriberKind};
+
+/// The generated population plus the shared world objects.
+#[derive(Clone, Debug)]
+pub struct Population {
+    /// All subscribers, wearable owners first.
+    pub subscribers: Vec<Subscriber>,
+    /// Number of wearable-owner subscribers (prefix of `subscribers`).
+    pub wearable_owners: usize,
+}
+
+impl Population {
+    /// Subscribers of one class.
+    pub fn of_kind(&self, kind: SubscriberKind) -> impl Iterator<Item = &Subscriber> {
+        self.subscribers.iter().filter(move |s| s.kind == kind)
+    }
+}
+
+/// Derives the initial cohort size from the end-of-window target and the
+/// growth/churn calibration: `end = initial · (1 + growth) `, arrivals
+/// replace churn on top of growth.
+pub fn cohort_sizes(config: &ScenarioConfig) -> (usize, usize) {
+    let months = config.window.summary().num_days() as f64 / 30.0;
+    let total_growth = config.calibration.monthly_growth * months;
+    let initial = (config.wearable_users as f64 / (1.0 + total_growth)).round() as usize;
+    let arrivals = ((total_growth + config.calibration.cohort_churn)
+        * initial as f64)
+        .round() as usize;
+    (initial, arrivals)
+}
+
+/// Builds the full population deterministically from the scenario seed.
+pub fn build_population(
+    config: &ScenarioConfig,
+    layout: &CountryLayout,
+    db: &DeviceDb,
+    apps: &AppCatalog,
+) -> Population {
+    let mut subscribers = Vec::with_capacity(config.total_users() as usize);
+    let (initial, arrivals) = cohort_sizes(config);
+    let total_wearable = initial + arrivals;
+    let days = config.window.summary().num_days();
+    let install_weights = apps.install_weights();
+
+    let mut next_serial: u32 = 1;
+    let mut serial = || {
+        next_serial += 1;
+        next_serial
+    };
+
+    // --- SIM-enabled wearable owners --------------------------------------
+    for i in 0..total_wearable {
+        let user = UserId(i as u64);
+        let mut rng = StdRng::seed_from_u64(dist::split_seed(config.seed, 0x10_0000 + i as u64));
+        let cal = &config.calibration;
+
+        let arrival_day = if i < initial {
+            0
+        } else {
+            1 + rng.random_range(0..days.saturating_sub(8).max(1))
+        };
+        // Churn hazard calibrated on the first-week cohort.
+        let churn_day = if dist::coin(&mut rng, cal.cohort_churn) {
+            let horizon = days.saturating_sub(7).max(arrival_day + 2);
+            if horizon > arrival_day + 1 {
+                Some(rng.random_range(arrival_day + 1..horizon))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        let regular_registration = dist::coin(&mut rng, cal.regular_registration_share);
+        let data_active = dist::coin(&mut rng, cal.data_active_fraction);
+        let inactivity = if data_active {
+            None
+        } else {
+            Some(match dist::weighted_index(&mut rng, &[0.4, 0.4, 0.2]) {
+                0 => InactivityReason::NoDataPlan,
+                1 => InactivityReason::WifiOnly,
+                _ => InactivityReason::NoCellularApps,
+            })
+        };
+
+        let (a, b) = cal.active_day_beta;
+        let active_day_prob = dist::beta(&mut rng, a, b).clamp(0.04, 0.95);
+        // Per-user activity-span scale: a heavy-tailed log-normal plus an
+        // intensity coupling feeding the Fig. 3(d) correlation. A small
+        // "marathon" minority wears the watch online all day — the paper's
+        // 7 % of users active more than 10 hours a day; they are also
+        // intense users, which keeps the span↔rate correlation clean.
+        let marathon = data_active && dist::coin(&mut rng, 0.05);
+        let intensity = dist::lognormal_median(&mut rng, 1.0, cal.intensity_sigma)
+            * if marathon { 1.6 } else { 1.0 };
+        let hours_median = if marathon {
+            9.0 + 5.0 * rng.random::<f64>()
+        } else {
+            (dist::lognormal_median(&mut rng, cal.hours_median, 0.95) * intensity.powf(0.5))
+                .clamp(0.3, 18.0)
+        };
+        let home_user = !marathon && dist::coin(&mut rng, cal.home_user_share);
+        // A minority of owners are "wearable-first": they offload usage to
+        // the watch and use the phone lightly. This is the population behind
+        // the paper's "for 10% of the users, 3% of their traffic originates
+        // exclusively from the wearables".
+        let wearable_first = data_active && dist::coin(&mut rng, 0.25);
+
+        let installed = sample_installed_apps(&mut rng, cal, &install_weights);
+
+        let model = db
+            .sample_model(&mut rng, DeviceClass::CellularWearable)
+            .expect("catalog has cellular wearables");
+        let wearable_imei = db.allocate_imei(model, serial()).as_u64();
+        let phone_model = db
+            .sample_model(&mut rng, DeviceClass::Smartphone)
+            .expect("catalog has smartphones");
+        let phone_imei = db.allocate_imei(phone_model, serial()).as_u64();
+
+        // Commute distance shares the intensity scale and the on-the-go
+        // disposition: users who transact more per hour also travel farther
+        // (Fig. 4(d)). The multipliers average out to ≈1 over the mix.
+        let commute_factor = intensity.powf(0.7) * if home_user { 0.75 } else { 1.3 };
+        let (home_city, home, work) = place(
+            &mut rng,
+            layout,
+            cal.wearable_commute_median_km * commute_factor,
+            cal.commute_sigma,
+        );
+
+        subscribers.push(Subscriber {
+            user,
+            kind: SubscriberKind::WearableOwner,
+            phone_imei,
+            wearable_imei: Some(wearable_imei),
+            wearable_model: Some(model),
+            through_kind: None,
+            fingerprintable: false,
+            arrival_day,
+            churn_day,
+            regular_registration,
+            occasional_reg_prob: cal.occasional_daily_reg_prob,
+            data_active,
+            inactivity,
+            active_day_prob,
+            hours_median,
+            intensity,
+            home_user,
+            installed_apps: installed,
+            home_city,
+            home,
+            work,
+            stationary_prob: cal.wearable_stationary_prob,
+            trip_prob: cal.wearable_trip_prob,
+            // The wearable-first discount is compensated on the rest of the
+            // owners so the population-level owner/rest factors stay at the
+            // calibration targets.
+            phone_tx_per_day: dist::lognormal_median(
+                &mut rng,
+                cal.phone_tx_per_day_median
+                    * cal.owner_tx_factor
+                    * owner_phone_compensation(cal)
+                    * if wearable_first { 0.25 } else { 1.0 },
+                cal.phone_tx_sigma,
+            ),
+            phone_bytes_median: cal.phone_bytes_median * cal.owner_bytes_factor
+                / cal.owner_tx_factor,
+        });
+    }
+    let wearable_owners = subscribers.len();
+
+    // --- Regular comparison users -----------------------------------------
+    for i in 0..config.comparison_users as usize {
+        let user = UserId(0x1_0000_0000 + i as u64);
+        let mut rng = StdRng::seed_from_u64(dist::split_seed(config.seed, 0x20_0000 + i as u64));
+        let cal = &config.calibration;
+        let phone_model = db
+            .sample_model(&mut rng, DeviceClass::Smartphone)
+            .expect("catalog has smartphones");
+        let phone_imei = db.allocate_imei(phone_model, serial()).as_u64();
+        let intensity = dist::lognormal_median(&mut rng, 1.0, cal.intensity_sigma);
+        let (home_city, home, work) = place(
+            &mut rng,
+            layout,
+            cal.other_commute_median_km * intensity.powf(0.5),
+            cal.commute_sigma,
+        );
+        subscribers.push(Subscriber {
+            user,
+            kind: SubscriberKind::Regular,
+            phone_imei,
+            wearable_imei: None,
+            wearable_model: None,
+            through_kind: None,
+            fingerprintable: false,
+            arrival_day: 0,
+            churn_day: None,
+            regular_registration: true,
+            occasional_reg_prob: 1.0,
+            data_active: false,
+            inactivity: None,
+            active_day_prob: 0.0,
+            hours_median: 0.0,
+            intensity,
+            home_user: true,
+            installed_apps: Vec::new(),
+            home_city,
+            home,
+            work,
+            stationary_prob: cal.other_stationary_prob,
+            trip_prob: cal.other_trip_prob,
+            phone_tx_per_day: dist::lognormal_median(
+                &mut rng,
+                cal.phone_tx_per_day_median,
+                cal.phone_tx_sigma,
+            ),
+            phone_bytes_median: cal.phone_bytes_median,
+        });
+    }
+
+    // --- Through-Device owners ---------------------------------------------
+    for i in 0..config.through_device_users as usize {
+        let user = UserId(0x2_0000_0000 + i as u64);
+        let mut rng = StdRng::seed_from_u64(dist::split_seed(config.seed, 0x30_0000 + i as u64));
+        let cal = &config.calibration;
+        let phone_model = db
+            .sample_model(&mut rng, DeviceClass::Smartphone)
+            .expect("catalog has smartphones");
+        let phone_imei = db.allocate_imei(phone_model, serial()).as_u64();
+        let tracker = db
+            .sample_model(&mut rng, DeviceClass::ThroughDeviceWearable)
+            .expect("catalog has through-device wearables");
+        let through_kind = Some(match db.model(tracker).unwrap().manufacturer {
+            "Fitbit" => ThroughDeviceKind::Fitbit,
+            "Xiaomi" => ThroughDeviceKind::Xiaomi,
+            "Apple" => ThroughDeviceKind::GenericApple,
+            _ => ThroughDeviceKind::GenericAndroid,
+        });
+        let fingerprintable = dist::coin(&mut rng, cal.fingerprintable_share);
+        // Through-device users mirror SIM-wearable users' mobility and
+        // activity (the paper's preliminary finding).
+        let (a, b) = cal.active_day_beta;
+        let active_day_prob = dist::beta(&mut rng, a, b).clamp(0.04, 0.95);
+        let intensity = dist::lognormal_median(&mut rng, 1.0, cal.intensity_sigma);
+        let (home_city, home, work) = place(
+            &mut rng,
+            layout,
+            cal.wearable_commute_median_km * intensity.powf(0.5),
+            cal.commute_sigma,
+        );
+        subscribers.push(Subscriber {
+            user,
+            kind: SubscriberKind::ThroughDeviceOwner,
+            phone_imei,
+            wearable_imei: None,
+            wearable_model: Some(tracker),
+            through_kind,
+            fingerprintable,
+            arrival_day: 0,
+            churn_day: None,
+            regular_registration: true,
+            occasional_reg_prob: 1.0,
+            data_active: false,
+            inactivity: None,
+            active_day_prob,
+            hours_median: (cal.hours_median * intensity.powf(0.8)).clamp(0.3, 16.0),
+            intensity,
+            home_user: dist::coin(&mut rng, cal.home_user_share),
+            installed_apps: Vec::new(),
+            home_city,
+            home,
+            work,
+            stationary_prob: cal.wearable_stationary_prob,
+            trip_prob: cal.wearable_trip_prob,
+            phone_tx_per_day: dist::lognormal_median(
+                &mut rng,
+                cal.phone_tx_per_day_median * cal.owner_tx_factor,
+                cal.phone_tx_sigma,
+            ),
+            phone_bytes_median: cal.phone_bytes_median,
+        });
+    }
+
+    Population {
+        subscribers,
+        wearable_owners,
+    }
+}
+
+/// Compensation factor applied to non-wearable-first owners' phone rates so
+/// the mixture mean matches `owner_tx_factor` despite the 25 %-of-data-active
+/// wearable-first population running phones at a quarter rate.
+fn owner_phone_compensation(cal: &crate::config::Calibration) -> f64 {
+    let share = 0.25 * cal.data_active_fraction;
+    1.0 / (1.0 - share * 0.75)
+}
+
+fn sample_installed_apps<R: Rng + ?Sized>(
+    rng: &mut R,
+    cal: &crate::config::Calibration,
+    install_weights: &[f64],
+) -> Vec<AppId> {
+    let count = dist::lognormal_median(rng, cal.installed_apps_median, cal.installed_apps_sigma)
+        .round()
+        .clamp(1.0, install_weights.len() as f64) as usize;
+    dist::weighted_sample_distinct(rng, install_weights, count)
+        .into_iter()
+        .map(|i| AppId(i as u16))
+        .collect()
+}
+
+/// Samples home city/point and a work point at a log-normal commute distance.
+fn place<R: Rng + ?Sized>(
+    rng: &mut R,
+    layout: &CountryLayout,
+    commute_median_km: f64,
+    commute_sigma: f64,
+) -> (u16, GeoPoint, GeoPoint) {
+    let city = layout.sample_city(rng);
+    let home = layout.sample_point_in_city(rng, city);
+    let d = dist::lognormal_median(rng, commute_median_km, commute_sigma).min(600.0);
+    let theta = rng.random::<f64>() * std::f64::consts::TAU;
+    let work = home.offset_km(d * theta.cos(), d * theta.sin());
+    (city, home, work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wearscope_geo::LayoutConfig;
+
+    fn world() -> (ScenarioConfig, CountryLayout, DeviceDb, AppCatalog) {
+        let config = ScenarioConfig::compact(7);
+        let layout = CountryLayout::generate(&LayoutConfig::compact(), config.seed);
+        (config, layout, DeviceDb::standard(), AppCatalog::standard())
+    }
+
+    #[test]
+    fn deterministic() {
+        let (config, layout, db, apps) = world();
+        let a = build_population(&config, &layout, &db, &apps);
+        let b = build_population(&config, &layout, &db, &apps);
+        assert_eq!(a.subscribers.len(), b.subscribers.len());
+        for (x, y) in a.subscribers.iter().zip(&b.subscribers) {
+            assert_eq!(x.user, y.user);
+            assert_eq!(x.phone_imei, y.phone_imei);
+            assert_eq!(x.wearable_imei, y.wearable_imei);
+            assert_eq!(x.installed_apps, y.installed_apps);
+            assert_eq!(x.arrival_day, y.arrival_day);
+        }
+    }
+
+    #[test]
+    fn population_composition() {
+        let (config, layout, db, apps) = world();
+        let pop = build_population(&config, &layout, &db, &apps);
+        let (initial, arrivals) = cohort_sizes(&config);
+        assert_eq!(pop.wearable_owners, initial + arrivals);
+        assert_eq!(
+            pop.of_kind(SubscriberKind::Regular).count(),
+            config.comparison_users as usize
+        );
+        assert_eq!(
+            pop.of_kind(SubscriberKind::ThroughDeviceOwner).count(),
+            config.through_device_users as usize
+        );
+        // Every wearable owner has both devices and a model.
+        for s in pop.of_kind(SubscriberKind::WearableOwner) {
+            assert!(s.wearable_imei.is_some());
+            assert!(s.wearable_model.is_some());
+            assert!(!s.installed_apps.is_empty());
+        }
+    }
+
+    #[test]
+    fn user_ids_unique() {
+        let (config, layout, db, apps) = world();
+        let pop = build_population(&config, &layout, &db, &apps);
+        let mut ids: Vec<u64> = pop.subscribers.iter().map(|s| s.user.raw()).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn imeis_unique_and_resolve() {
+        let (config, layout, db, apps) = world();
+        let pop = build_population(&config, &layout, &db, &apps);
+        let mut imeis: Vec<u64> = pop
+            .subscribers
+            .iter()
+            .flat_map(|s| [Some(s.phone_imei), s.wearable_imei].into_iter().flatten())
+            .collect();
+        let before = imeis.len();
+        imeis.sort_unstable();
+        imeis.dedup();
+        assert_eq!(imeis.len(), before, "IMEI collision");
+        for s in &pop.subscribers {
+            let rec = db
+                .lookup(wearscope_devicedb::Imei::from_u64(s.phone_imei).unwrap())
+                .unwrap();
+            assert_eq!(rec.class, DeviceClass::Smartphone);
+            if let Some(w) = s.wearable_imei {
+                let rec = db.lookup(wearscope_devicedb::Imei::from_u64(w).unwrap()).unwrap();
+                assert_eq!(rec.class, DeviceClass::CellularWearable);
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_fractions_approximately_hold() {
+        let mut config = ScenarioConfig::compact(11);
+        config.wearable_users = 1500; // larger sample for fraction checks
+        let layout = CountryLayout::generate(&LayoutConfig::compact(), config.seed);
+        let (db, apps) = (DeviceDb::standard(), AppCatalog::standard());
+        let pop = build_population(&config, &layout, &db, &apps);
+        let owners: Vec<&Subscriber> = pop.of_kind(SubscriberKind::WearableOwner).collect();
+        let n = owners.len() as f64;
+
+        let active = owners.iter().filter(|s| s.data_active).count() as f64 / n;
+        assert!((active - 0.34).abs() < 0.05, "data-active share {active}");
+
+        let mean_apps =
+            owners.iter().map(|s| s.installed_apps.len() as f64).sum::<f64>() / n;
+        assert!((6.0..11.5).contains(&mean_apps), "mean installed apps {mean_apps}");
+        let under_20 = owners
+            .iter()
+            .filter(|s| s.installed_apps.len() < 20)
+            .count() as f64
+            / n;
+        assert!((0.85..0.97).contains(&under_20), "apps<20 share {under_20}");
+
+        let home_share = owners.iter().filter(|s| s.home_user).count() as f64 / n;
+        assert!((home_share - 0.60).abs() < 0.05, "home-user share {home_share}");
+
+        // Mean active days/week ≈ 1.
+        let mean_days = owners.iter().map(|s| s.active_day_prob * 7.0).sum::<f64>() / n;
+        assert!((0.7..1.4).contains(&mean_days), "mean active days/wk {mean_days}");
+    }
+
+    #[test]
+    fn cohort_sizes_reflect_growth() {
+        let config = ScenarioConfig::paper(1);
+        let (initial, arrivals) = cohort_sizes(&config);
+        // End count ≈ configured target.
+        let months = config.window.summary().num_days() as f64 / 30.0;
+        let end = initial as f64 * (1.0 + 0.015 * months);
+        assert!((end - config.wearable_users as f64).abs() / end < 0.01);
+        // Arrivals cover growth plus churn.
+        assert!(arrivals as f64 >= 0.09 * initial as f64);
+    }
+
+    #[test]
+    fn through_device_kinds_consistent() {
+        let (config, layout, db, apps) = world();
+        let pop = build_population(&config, &layout, &db, &apps);
+        for s in pop.of_kind(SubscriberKind::ThroughDeviceOwner) {
+            assert!(s.through_kind.is_some());
+            assert!(s.wearable_imei.is_none(), "through-device has no SIM");
+        }
+        let fp = pop
+            .of_kind(SubscriberKind::ThroughDeviceOwner)
+            .filter(|s| s.fingerprintable)
+            .count() as f64
+            / config.through_device_users as f64;
+        assert!((0.08..0.26).contains(&fp), "fingerprintable share {fp}");
+    }
+}

@@ -1,0 +1,487 @@
+//! End-to-end world generation: population → daily behaviour → network logs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wearscope_appdb::AppCatalog;
+use wearscope_devicedb::DeviceDb;
+use wearscope_geo::{CountryLayout, SectorDirectory, SectorGrid, SectorId};
+use wearscope_mobilenet::{MobileNetwork, NetworkEvent, NetworkStats, NetworkSummaries};
+use wearscope_simtime::{SimTime, SECS_PER_HOUR, SECS_PER_MINUTE};
+use wearscope_trace::TraceStore;
+
+use crate::config::ScenarioConfig;
+use crate::dist;
+use crate::mobility::day_plan;
+use crate::population::{build_population, Population};
+use crate::subscriber::{Subscriber, SubscriberKind};
+use crate::traffic::{phone_day_traffic, wearable_day_traffic};
+
+/// Everything one simulation run produces: the logs the analysis consumes
+/// plus the ground truth the validation tests compare against.
+#[derive(Debug)]
+pub struct GeneratedWorld {
+    /// The scenario that produced this world.
+    pub config: ScenarioConfig,
+    /// Synthetic country.
+    pub layout: CountryLayout,
+    /// Deployed sectors (shared with the analysis, like a cell-plan DB).
+    pub sectors: SectorDirectory,
+    /// Operator device database.
+    pub db: DeviceDb,
+    /// App catalog / signature database.
+    pub apps: AppCatalog,
+    /// Ground-truth population (not visible to the analysis pipeline).
+    pub population: Population,
+    /// Detailed-window logs.
+    pub store: TraceStore,
+    /// Long-horizon vantage point summaries.
+    pub summaries: NetworkSummaries,
+    /// Simulation statistics.
+    pub stats: NetworkStats,
+}
+
+/// A world reloaded from disk: exactly what the analysis pipeline needs —
+/// logs, cell plan, vantage summaries, window — and nothing from the
+/// generator's ground truth.
+#[derive(Debug)]
+pub struct SavedWorld {
+    /// Detailed-window logs.
+    pub store: TraceStore,
+    /// Sector directory (cell plan).
+    pub sectors: SectorDirectory,
+    /// Long-horizon summaries.
+    pub summaries: NetworkSummaries,
+    /// Observation window.
+    pub window: wearscope_simtime::ObservationWindow,
+}
+
+impl GeneratedWorld {
+    /// Persists everything an analysis needs under `dir`: the raw logs
+    /// (`proxy.log`, `mme.log`), the cell plan (`sectors.tsv`), the vantage
+    /// point summaries, and a `manifest.tsv` recording the window layout.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        self.store
+            .save(dir)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let sectors = std::fs::File::create(dir.join("sectors.tsv"))?;
+        self.sectors.write_tsv(std::io::BufWriter::new(sectors))?;
+        self.summaries.save(dir)?;
+        std::fs::write(
+            dir.join("manifest.tsv"),
+            format!(
+                "seed\t{}\nsummary_days\t{}\ndetailed_days\t{}\n",
+                self.config.seed,
+                self.config.window.summary().num_days(),
+                self.config.window.detailed().num_days(),
+            ),
+        )
+    }
+
+    /// Loads a world previously written with [`GeneratedWorld::save`].
+    ///
+    /// # Errors
+    /// Fails on filesystem errors or malformed files.
+    pub fn load(dir: &std::path::Path) -> std::io::Result<SavedWorld> {
+        let manifest = std::fs::read_to_string(dir.join("manifest.tsv"))?;
+        let mut summary_days = 0u64;
+        let mut detailed_days = 0u64;
+        for line in manifest.lines() {
+            if let Some((k, v)) = line.split_once('\t') {
+                match k {
+                    "summary_days" => summary_days = v.parse().map_err(invalid)?,
+                    "detailed_days" => detailed_days = v.parse().map_err(invalid)?,
+                    _ => {}
+                }
+            }
+        }
+        if summary_days == 0 || detailed_days == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "manifest.tsv missing window layout",
+            ));
+        }
+        let window = wearscope_simtime::ObservationWindow::new(
+            summary_days,
+            detailed_days,
+            wearscope_simtime::Calendar::PAPER,
+        );
+        let store = TraceStore::load(dir).map_err(|e| std::io::Error::other(e.to_string()))?;
+        let sectors_file = std::fs::File::open(dir.join("sectors.tsv"))?;
+        let sectors = SectorDirectory::read_tsv(std::io::BufReader::new(sectors_file))?;
+        let summaries = NetworkSummaries::load(dir)?;
+        Ok(SavedWorld {
+            store,
+            sectors,
+            summaries,
+            window,
+        })
+    }
+}
+
+fn invalid<E: std::fmt::Display>(e: E) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Generates a complete world from a scenario configuration.
+///
+/// Deterministic in `config.seed` regardless of `config.workers`: every
+/// (user, day) stream owns a split seed, and per-day event batches are
+/// sorted by time before they reach the network.
+pub fn generate(config: &ScenarioConfig) -> GeneratedWorld {
+    let layout = CountryLayout::generate(&config.layout, config.seed);
+    let sectors = layout.deploy_sectors(
+        config.sectors_in_largest_city,
+        config.rural_sectors,
+        config.seed,
+    );
+    let grid = SectorGrid::build(&sectors);
+    let db = DeviceDb::standard();
+    let apps = AppCatalog::standard();
+    let population = build_population(config, &layout, &db, &apps);
+    let network = MobileNetwork::with_window(db.clone(), sectors.clone(), config.window);
+
+    let detail_start_day = config.window.detailed().start().day_index();
+    for day in config.window.summary().days() {
+        let weekend = config.window.calendar().day_is_weekend(day);
+        let in_detail = day >= detail_start_day;
+        let mut events = generate_day(
+            config,
+            &population,
+            &apps,
+            &grid,
+            day,
+            weekend,
+            in_detail,
+        );
+        events.sort_by_key(NetworkEvent::time);
+        network.handle_all(events);
+    }
+
+    let (store, summaries, stats) = network.finish();
+    GeneratedWorld {
+        config: config.clone(),
+        layout,
+        sectors,
+        db,
+        apps,
+        population,
+        store,
+        summaries,
+        stats,
+    }
+}
+
+/// Generates all subscribers' events for one day, fanning out across worker
+/// threads when configured.
+fn generate_day(
+    config: &ScenarioConfig,
+    population: &Population,
+    apps: &AppCatalog,
+    grid: &SectorGrid,
+    day: u64,
+    weekend: bool,
+    in_detail: bool,
+) -> Vec<NetworkEvent> {
+    let subs = &population.subscribers;
+    let workers = config.workers.max(1);
+    if workers == 1 || subs.len() < 64 {
+        let mut out = Vec::new();
+        for sub in subs {
+            user_day_events(config, apps, grid, sub, day, weekend, in_detail, &mut out);
+        }
+        return out;
+    }
+    let chunk = subs.len().div_ceil(workers);
+    let mut shards: Vec<Vec<NetworkEvent>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = subs
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    for sub in slice {
+                        user_day_events(
+                            config, apps, grid, sub, day, weekend, in_detail, &mut out,
+                        );
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            shards.push(h.join().expect("generator worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    shards.into_iter().flatten().collect()
+}
+
+/// Seeds: one independent RNG per (user, day).
+fn user_day_rng(seed: u64, user: u64, day: u64) -> StdRng {
+    StdRng::seed_from_u64(dist::split_seed(
+        dist::split_seed(seed, 0x40_0000 ^ user),
+        day,
+    ))
+}
+
+/// Emits one subscriber's events for one day into `out`.
+#[allow(clippy::too_many_arguments)]
+fn user_day_events(
+    config: &ScenarioConfig,
+    apps: &AppCatalog,
+    grid: &SectorGrid,
+    sub: &Subscriber,
+    day: u64,
+    weekend: bool,
+    in_detail: bool,
+    out: &mut Vec<NetworkEvent>,
+) {
+    let cal = &config.calibration;
+    let mut rng = user_day_rng(config.seed, sub.user.raw(), day);
+    let midnight = SimTime::from_days(day);
+    let sector_at = |p| grid.nearest(p).unwrap_or(SectorId(0));
+
+    match sub.kind {
+        SubscriberKind::WearableOwner => {
+            let owns = sub.owns_wearable_on(day);
+            // A data-active user's watch must attach to transmit, so an
+            // active day implies registration even for occasional users.
+            let active_today =
+                owns && sub.data_active && dist::coin(&mut rng, sub.active_day_prob);
+            let registered = owns
+                && (sub.regular_registration
+                    || active_today
+                    || dist::coin(&mut rng, sub.occasional_reg_prob));
+            if registered {
+                let imei = sub.wearable_imei.expect("owner has wearable IMEI");
+                let (_, plan) = day_plan(&mut rng, sub, weekend);
+                let t_on = 5 * SECS_PER_HOUR
+                    + 30 * SECS_PER_MINUTE
+                    + rng.random_range(0..(2 * SECS_PER_HOUR));
+                let t_off = 22 * SECS_PER_HOUR
+                    + 30 * SECS_PER_MINUTE
+                    + rng.random_range(0..SECS_PER_HOUR);
+                out.push(NetworkEvent::Attach {
+                    t: midnight + wearscope_simtime::SimDuration::from_secs(t_on),
+                    user: sub.user,
+                    imei,
+                    sector: sector_at(plan.location_at(t_on)),
+                });
+                if in_detail {
+                    for &(s, p) in &plan.anchors {
+                        if s > t_on && s < t_off {
+                            out.push(NetworkEvent::Move {
+                                t: midnight + wearscope_simtime::SimDuration::from_secs(s),
+                                user: sub.user,
+                                imei,
+                                sector: sector_at(p),
+                            });
+                        }
+                    }
+                }
+                // Wearable cellular traffic (generated over the *full*
+                // window: the proxy's summary statistics need it, raw
+                // records are only retained in the detailed window).
+                let txs = if active_today {
+                    wearable_day_traffic(&mut rng, sub, cal, apps, day, weekend, |s| plan.at_home(s))
+                } else {
+                    Vec::new()
+                };
+                for tx in txs {
+                    let s = tx.sec_of_day.clamp(t_on + 1, t_off.saturating_sub(1));
+                    out.push(NetworkEvent::Transaction {
+                        t: midnight + wearscope_simtime::SimDuration::from_secs(s),
+                        user: sub.user,
+                        imei,
+                        host: tx.host,
+                        scheme: tx.scheme,
+                        bytes_down: tx.bytes_down,
+                        bytes_up: tx.bytes_up,
+                    });
+                }
+                out.push(NetworkEvent::Detach {
+                    t: midnight + wearscope_simtime::SimDuration::from_secs(t_off),
+                    user: sub.user,
+                    imei,
+                });
+            }
+            // The owner's smartphone traffic (the bulk of their ISP volume);
+            // only the detailed window is analysed for Fig. 4.
+            if in_detail {
+                for tx in phone_day_traffic(&mut rng, sub, cal, weekend) {
+                    out.push(NetworkEvent::Transaction {
+                        t: midnight + wearscope_simtime::SimDuration::from_secs(tx.sec_of_day),
+                        user: sub.user,
+                        imei: sub.phone_imei,
+                        host: tx.host,
+                        scheme: tx.scheme,
+                        bytes_down: tx.bytes_down,
+                        bytes_up: tx.bytes_up,
+                    });
+                }
+            }
+        }
+        SubscriberKind::Regular | SubscriberKind::ThroughDeviceOwner => {
+            if !in_detail {
+                return;
+            }
+            let imei = sub.phone_imei;
+            let (_, plan) = day_plan(&mut rng, sub, weekend);
+            out.push(NetworkEvent::Attach {
+                t: midnight + wearscope_simtime::SimDuration::from_secs(5),
+                user: sub.user,
+                imei,
+                sector: sector_at(plan.anchors[0].1),
+            });
+            for &(s, p) in plan.anchors.iter().skip(1) {
+                out.push(NetworkEvent::Move {
+                    t: midnight + wearscope_simtime::SimDuration::from_secs(s),
+                    user: sub.user,
+                    imei,
+                    sector: sector_at(p),
+                });
+            }
+            for tx in phone_day_traffic(&mut rng, sub, cal, weekend) {
+                out.push(NetworkEvent::Transaction {
+                    t: midnight + wearscope_simtime::SimDuration::from_secs(tx.sec_of_day),
+                    user: sub.user,
+                    imei,
+                    host: tx.host,
+                    scheme: tx.scheme,
+                    bytes_down: tx.bytes_down,
+                    bytes_up: tx.bytes_up,
+                });
+            }
+            out.push(NetworkEvent::Detach {
+                t: midnight
+                    + wearscope_simtime::SimDuration::from_secs(24 * SECS_PER_HOUR - 5),
+                user: sub.user,
+                imei,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wearscope_devicedb::{DeviceClass, Imei};
+
+    fn tiny_config() -> ScenarioConfig {
+        let mut c = ScenarioConfig::compact(42);
+        c.wearable_users = 60;
+        c.comparison_users = 80;
+        c.through_device_users = 25;
+        c.workers = 2;
+        c
+    }
+
+    #[test]
+    fn generation_is_deterministic_across_worker_counts() {
+        let mut a_cfg = tiny_config();
+        a_cfg.workers = 1;
+        let mut b_cfg = tiny_config();
+        b_cfg.workers = 3;
+        let a = generate(&a_cfg);
+        let b = generate(&b_cfg);
+        assert_eq!(a.store.proxy().len(), b.store.proxy().len());
+        assert_eq!(a.store.mme().len(), b.store.mme().len());
+        assert_eq!(a.store.proxy(), b.store.proxy());
+        assert_eq!(a.store.mme(), b.store.mme());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a_cfg = tiny_config();
+        let mut b_cfg = tiny_config();
+        a_cfg.seed = 1;
+        b_cfg.seed = 2;
+        let a = generate(&a_cfg);
+        let b = generate(&b_cfg);
+        assert_ne!(a.store.proxy().len(), b.store.proxy().len());
+    }
+
+    #[test]
+    fn logs_confined_to_detailed_window() {
+        let world = generate(&tiny_config());
+        let detail = world.config.window.detailed();
+        for r in world.store.proxy() {
+            assert!(detail.contains(r.timestamp), "proxy record outside window");
+        }
+        for r in world.store.mme() {
+            assert!(detail.contains(r.timestamp), "mme record outside window");
+        }
+        assert!(world.store.is_time_sorted());
+    }
+
+    #[test]
+    fn summaries_cover_full_window() {
+        let world = generate(&tiny_config());
+        let days = world.config.window.summary().num_days();
+        // Wearable users register from day 0 even though logs start later.
+        assert!(world.summaries.mme.users_on_day(0) > 0);
+        assert!(world.summaries.mme.users_on_day(days - 1) > 0);
+    }
+
+    #[test]
+    fn no_time_regressions_or_anomaly_floods() {
+        let world = generate(&tiny_config());
+        assert_eq!(world.stats.time_regressions, 0);
+        // Clean attach/detach choreography → no MME anomalies.
+        assert_eq!(world.stats.mme_anomalies, 0);
+        assert!(world.stats.events > 0);
+    }
+
+    #[test]
+    fn wearable_and_phone_records_resolve_to_right_classes() {
+        let world = generate(&tiny_config());
+        let mut wearable_tx = 0usize;
+        let mut phone_tx = 0usize;
+        for r in world.store.proxy() {
+            match world.db.lookup(Imei::from_u64(r.imei).unwrap()).unwrap().class {
+                DeviceClass::CellularWearable => wearable_tx += 1,
+                DeviceClass::Smartphone => phone_tx += 1,
+                other => panic!("unexpected device class {other}"),
+            }
+        }
+        assert!(wearable_tx > 0, "no wearable transactions");
+        assert!(phone_tx > wearable_tx, "phones should dominate volume");
+    }
+
+    #[test]
+    fn world_save_load_roundtrip() {
+        let world = generate(&tiny_config());
+        let dir = std::env::temp_dir().join(format!("wearscope-world-{}", std::process::id()));
+        world.save(&dir).unwrap();
+        let saved = GeneratedWorld::load(&dir).unwrap();
+        assert_eq!(saved.store.proxy(), world.store.proxy());
+        assert_eq!(saved.store.mme(), world.store.mme());
+        assert_eq!(saved.sectors.len(), world.sectors.len());
+        assert_eq!(saved.window, world.config.window);
+        // Summaries carry the long-horizon data the logs do not.
+        assert_eq!(
+            saved.summaries.mme.users_on_day(0),
+            world.summaries.mme.users_on_day(0)
+        );
+        assert_eq!(
+            saved.summaries.wearable_traffic.users_ever(),
+            world.summaries.wearable_traffic.users_ever()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mme_log_contains_all_three_event_kinds() {
+        use wearscope_trace::MmeEvent;
+        let world = generate(&tiny_config());
+        let has = |ev: MmeEvent| world.store.mme().iter().any(|r| r.event == ev);
+        assert!(has(MmeEvent::Attach));
+        assert!(has(MmeEvent::Detach));
+        assert!(has(MmeEvent::SectorUpdate));
+    }
+}

@@ -1,0 +1,165 @@
+//! Subscriber ground truth.
+
+use wearscope_appdb::{AppId, ThroughDeviceKind};
+use wearscope_devicedb::ModelId;
+use wearscope_geo::GeoPoint;
+use wearscope_trace::UserId;
+
+/// Which study population a subscriber belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SubscriberKind {
+    /// Owns a SIM-enabled wearable (plus a smartphone).
+    WearableOwner,
+    /// A "remaining customer" with a smartphone only.
+    Regular,
+    /// Owns a Through-Device wearable relaying via the smartphone.
+    ThroughDeviceOwner,
+}
+
+/// Why a registered wearable user never transmits cellular data (Sec. 4.1
+/// lists the three hypotheses; the generator makes them concrete).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InactivityReason {
+    /// No mobile-data subscription for the wearable SIM.
+    NoDataPlan,
+    /// Apps configured to sync over WiFi only.
+    WifiOnly,
+    /// Few or no cellular-capable apps installed.
+    NoCellularApps,
+}
+
+/// The ground-truth attributes of one synthetic subscriber.
+///
+/// The analysis pipeline never sees this struct — it works from logs alone —
+/// but validation tests compare pipeline outputs against these attributes.
+#[derive(Clone, Debug)]
+pub struct Subscriber {
+    /// Stable pseudonymized id (shared across MME and proxy logs).
+    pub user: UserId,
+    /// Population class.
+    pub kind: SubscriberKind,
+    /// The smartphone IMEI (every subscriber carries a phone).
+    pub phone_imei: u64,
+    /// The SIM-enabled wearable IMEI, for owners.
+    pub wearable_imei: Option<u64>,
+    /// The wearable device model.
+    pub wearable_model: Option<ModelId>,
+    /// The Through-Device tracker kind, for through-device owners.
+    pub through_kind: Option<ThroughDeviceKind>,
+    /// Whether the through-device traffic uses fingerprintable endpoints.
+    pub fingerprintable: bool,
+
+    // --- Adoption ---------------------------------------------------------
+    /// First observation day the wearable is owned (0 = from the start).
+    pub arrival_day: u64,
+    /// Day the user abandons the wearable, if any.
+    pub churn_day: Option<u64>,
+    /// Registers essentially daily (vs. occasionally).
+    pub regular_registration: bool,
+    /// Daily registration probability when `regular_registration` is false.
+    pub occasional_reg_prob: f64,
+    /// Ever transmits cellular data from the wearable.
+    pub data_active: bool,
+    /// Why not, when `data_active` is false.
+    pub inactivity: Option<InactivityReason>,
+
+    // --- Activity -----------------------------------------------------------
+    /// Probability a given day is a wearable-active day.
+    pub active_day_prob: f64,
+    /// Median active hours on an active day.
+    pub hours_median: f64,
+    /// Intensity scale coupling activity span and transaction rate.
+    pub intensity: f64,
+    /// All wearable transactions happen from home (the 60 % single-location
+    /// population).
+    pub home_user: bool,
+    /// Installed wearable apps requiring Internet access.
+    pub installed_apps: Vec<AppId>,
+
+    // --- Mobility -----------------------------------------------------------
+    /// Home city index in the layout.
+    pub home_city: u16,
+    /// Home location.
+    pub home: GeoPoint,
+    /// Work location (== home for non-commuters).
+    pub work: GeoPoint,
+    /// Probability of staying home all day.
+    pub stationary_prob: f64,
+    /// Probability of a long trip on any given day.
+    pub trip_prob: f64,
+
+    // --- Smartphone traffic ---------------------------------------------------
+    /// Mean phone transactions per day.
+    pub phone_tx_per_day: f64,
+    /// Median bytes per phone transaction record.
+    pub phone_bytes_median: f64,
+}
+
+impl Subscriber {
+    /// `true` if the user owns any kind of wearable.
+    pub fn has_wearable(&self) -> bool {
+        !matches!(self.kind, SubscriberKind::Regular)
+    }
+
+    /// `true` if the wearable is owned (arrived, not churned) on `day`.
+    pub fn owns_wearable_on(&self, day: u64) -> bool {
+        self.has_wearable()
+            && day >= self.arrival_day
+            && self.churn_day.map_or(true, |c| day < c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Subscriber {
+        Subscriber {
+            user: UserId(1),
+            kind: SubscriberKind::WearableOwner,
+            phone_imei: 1,
+            wearable_imei: Some(2),
+            wearable_model: None,
+            through_kind: None,
+            fingerprintable: false,
+            arrival_day: 10,
+            churn_day: Some(100),
+            regular_registration: true,
+            occasional_reg_prob: 0.07,
+            data_active: true,
+            inactivity: None,
+            active_day_prob: 0.14,
+            hours_median: 2.2,
+            intensity: 1.0,
+            home_user: true,
+            installed_apps: vec![],
+            home_city: 0,
+            home: GeoPoint::new(40.0, -3.0),
+            work: GeoPoint::new(40.1, -3.0),
+            stationary_prob: 0.25,
+            trip_prob: 0.04,
+            phone_tx_per_day: 22.0,
+            phone_bytes_median: 250_000.0,
+        }
+    }
+
+    #[test]
+    fn ownership_window() {
+        let s = base();
+        assert!(!s.owns_wearable_on(9));
+        assert!(s.owns_wearable_on(10));
+        assert!(s.owns_wearable_on(99));
+        assert!(!s.owns_wearable_on(100));
+    }
+
+    #[test]
+    fn regular_has_no_wearable() {
+        let s = Subscriber {
+            kind: SubscriberKind::Regular,
+            wearable_imei: None,
+            ..base()
+        };
+        assert!(!s.has_wearable());
+        assert!(!s.owns_wearable_on(50));
+    }
+}

@@ -1,0 +1,44 @@
+//! Subscriber identifiers.
+
+use core::fmt;
+
+/// A pseudonymized subscriber identifier.
+///
+/// The ISP's logs never expose raw MSISDNs to analysis; both vantage points
+/// key records on a stable pseudonym. Being stable across the MME and proxy
+/// logs is what lets the paper join mobility with traffic per user.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserId(pub u64);
+
+impl UserId {
+    /// The raw pseudonym value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_format() {
+        assert!(UserId(1) < UserId(2));
+        assert_eq!(format!("{:?}", UserId(7)), "u7");
+        assert_eq!(UserId(7).to_string(), "7");
+        assert_eq!(UserId(7).raw(), 7);
+    }
+}

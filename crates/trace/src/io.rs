@@ -1,0 +1,270 @@
+//! Streaming log writers and readers.
+//!
+//! Logs are plain text: one TSV-encoded record per `\n`-terminated line.
+//! The writer buffers into a [`bytes::BytesMut`] and flushes in large chunks;
+//! the reader yields records one at a time without materializing the file.
+
+use std::io::{self, BufRead, Write};
+use std::marker::PhantomData;
+
+use bytes::BytesMut;
+
+use crate::codec::{CodecError, TsvRecord};
+
+/// Buffered line-oriented writer for any [`TsvRecord`].
+///
+/// # Examples
+/// ```
+/// use wearscope_trace::{LogWriter, LogReader, ProxyRecord, Scheme, UserId};
+/// use wearscope_simtime::SimTime;
+///
+/// let rec = ProxyRecord {
+///     timestamp: SimTime::from_secs(1),
+///     user: UserId(9),
+///     imei: 352000011234564,
+///     host: "api.weather.com".into(),
+///     scheme: Scheme::Https,
+///     bytes_down: 2000,
+///     bytes_up: 300,
+/// };
+/// let mut buf = Vec::new();
+/// {
+///     let mut w = LogWriter::new(&mut buf);
+///     w.write(&rec).unwrap();
+///     w.flush().unwrap();
+/// }
+/// let recs: Vec<ProxyRecord> = LogReader::new(buf.as_slice())
+///     .collect::<Result<_, _>>()
+///     .unwrap();
+/// assert_eq!(recs, vec![rec]);
+/// ```
+#[derive(Debug)]
+pub struct LogWriter<W: Write, R: TsvRecord> {
+    /// `None` only transiently inside `into_inner`.
+    sink: Option<W>,
+    buf: BytesMut,
+    written: u64,
+    _marker: PhantomData<fn(&R)>,
+}
+
+/// Flush threshold for the in-memory buffer.
+const FLUSH_AT: usize = 64 * 1024;
+
+impl<W: Write, R: TsvRecord> LogWriter<W, R> {
+    /// Wraps a sink.
+    pub fn new(sink: W) -> LogWriter<W, R> {
+        LogWriter {
+            sink: Some(sink),
+            buf: BytesMut::with_capacity(FLUSH_AT + 1024),
+            written: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the underlying sink.
+    pub fn write(&mut self, record: &R) -> io::Result<()> {
+        self.buf.extend_from_slice(record.to_line().as_bytes());
+        self.buf.extend_from_slice(b"\n");
+        self.written += 1;
+        if self.buf.len() >= FLUSH_AT {
+            self.flush_buf()?;
+        }
+        Ok(())
+    }
+
+    fn flush_buf(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            if let Some(sink) = self.sink.as_mut() {
+                sink.write_all(&self.buf)?;
+            }
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered lines and the sink.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.flush_buf()?;
+        match self.sink.as_mut() {
+            Some(sink) => sink.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the sink.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.flush()?;
+        Ok(self.sink.take().expect("sink present until into_inner"))
+    }
+}
+
+impl<W: Write, R: TsvRecord> Drop for LogWriter<W, R> {
+    fn drop(&mut self) {
+        let _ = self.flush_buf();
+    }
+}
+
+/// Errors yielded by [`LogReader`].
+#[derive(Debug)]
+pub enum ReadError {
+    /// An I/O error from the source.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number.
+    Codec {
+        /// 1-based line number of the bad line.
+        line: u64,
+        /// The decode failure.
+        error: CodecError,
+    },
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "I/O error: {e}"),
+            ReadError::Codec { line, error } => write!(f, "line {line}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Streaming reader yielding `Result<R, ReadError>` per line.
+#[derive(Debug)]
+pub struct LogReader<S: BufRead, R: TsvRecord> {
+    source: S,
+    line_no: u64,
+    buf: String,
+    _marker: PhantomData<fn() -> R>,
+}
+
+impl<S: BufRead, R: TsvRecord> LogReader<S, R> {
+    /// Wraps a buffered source.
+    pub fn new(source: S) -> LogReader<S, R> {
+        LogReader {
+            source,
+            line_no: 0,
+            buf: String::new(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<S: BufRead, R: TsvRecord> Iterator for LogReader<S, R> {
+    type Item = Result<R, ReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            match self.source.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {
+                    self.line_no += 1;
+                    let line = self.buf.trim_end_matches(['\n', '\r']);
+                    if line.is_empty() {
+                        continue; // tolerate blank lines
+                    }
+                    return Some(R::from_line(line).map_err(|error| ReadError::Codec {
+                        line: self.line_no,
+                        error,
+                    }));
+                }
+                Err(e) => return Some(Err(ReadError::Io(e))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::UserId;
+    use crate::mme::{MmeEvent, MmeRecord};
+    use wearscope_simtime::SimTime;
+
+    fn recs(n: u64) -> Vec<MmeRecord> {
+        (0..n)
+            .map(|i| MmeRecord {
+                timestamp: SimTime::from_secs(i),
+                user: UserId(i % 10),
+                imei: 352000011234564,
+                event: MmeEvent::SectorUpdate,
+                sector: (i % 100) as u32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip_many() {
+        let records = recs(5000); // crosses the flush threshold
+        let mut sink = Vec::new();
+        {
+            let mut w = LogWriter::new(&mut sink);
+            for r in &records {
+                w.write(r).unwrap();
+            }
+            assert_eq!(w.records_written(), 5000);
+            w.flush().unwrap();
+        }
+        let read: Vec<MmeRecord> = LogReader::new(sink.as_slice())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(read, records);
+    }
+
+    #[test]
+    fn drop_flushes() {
+        let mut sink = Vec::new();
+        {
+            let mut w: LogWriter<_, MmeRecord> = LogWriter::new(&mut sink);
+            w.write(&recs(1)[0]).unwrap();
+            // No explicit flush: Drop must flush the buffered line.
+        }
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let line = recs(1)[0].to_line();
+        let text = format!("\n{line}\n\n{line}\n");
+        let read: Vec<MmeRecord> = LogReader::new(text.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(read.len(), 2);
+    }
+
+    #[test]
+    fn bad_line_reports_line_number() {
+        let good = recs(1)[0].to_line();
+        let text = format!("{good}\nnot a record\n");
+        let results: Vec<_> = LogReader::<_, MmeRecord>::new(text.as_bytes()).collect();
+        assert!(results[0].is_ok());
+        match &results[1] {
+            Err(ReadError::Codec { line, .. }) => assert_eq!(*line, 2),
+            other => panic!("expected codec error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn into_inner_returns_flushed_sink() {
+        let w: LogWriter<Vec<u8>, MmeRecord> = LogWriter::new(Vec::new());
+        let mut w = w;
+        w.write(&recs(1)[0]).unwrap();
+        let sink = w.into_inner().unwrap();
+        assert!(sink.ends_with(b"\n"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Vantage-point log records for the `wearscope` study.
+//!
+//! The measurement infrastructure (paper Fig. 1) taps the mobile network at
+//! two logging vantage points, plus one lookup service:
+//!
+//! * the **transparent Web proxy** logs one record per HTTP/HTTPS
+//!   transaction: timestamp, subscriber, device IMEI, destination host (SNI
+//!   for HTTPS, URL host for HTTP), and byte counts — [`ProxyRecord`];
+//! * the **MME** logs subscriber mobility: attach/detach and the sector a
+//!   subscriber is attached to at any time — [`MmeRecord`];
+//! * the **device database** binds IMEIs to models (crate
+//!   `wearscope-devicedb`).
+//!
+//! This crate defines the record schemas, a line-oriented TSV codec with
+//! escaping (so logs can be shipped between the simulator and the analysis
+//! as plain files), a compact varint binary codec for archival
+//! ([`binary`]), streaming readers/writers, and [`TraceStore`], the
+//! in-memory time-ordered store the analysis pipelines fold over.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod binary;
+pub mod codec;
+pub mod ids;
+pub mod io;
+pub mod mme;
+pub mod proxy;
+pub mod store;
+
+pub use binary::{decode_all, encode_all, BinaryError, BinaryRecord};
+pub use codec::{CodecError, FieldReader, FieldWriter, TsvRecord};
+pub use ids::UserId;
+pub use io::{LogReader, LogWriter};
+pub use mme::{MmeEvent, MmeRecord};
+pub use proxy::{ProxyRecord, Scheme};
+pub use store::TraceStore;

@@ -1,0 +1,222 @@
+//! In-memory trace store.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter};
+use std::path::Path;
+
+use wearscope_simtime::TimeRange;
+
+use crate::io::{LogReader, LogWriter, ReadError};
+use crate::mme::MmeRecord;
+use crate::proxy::ProxyRecord;
+
+/// The two detailed log streams of one observation, held in memory and
+/// time-sorted — what the analysis pipelines fold over.
+///
+/// Records are kept in separate vectors per vantage point (the paper's logs
+/// are separate systems joined on the pseudonymized user id).
+#[derive(Clone, Debug, Default)]
+pub struct TraceStore {
+    proxy: Vec<ProxyRecord>,
+    mme: Vec<MmeRecord>,
+}
+
+impl TraceStore {
+    /// An empty store.
+    pub fn new() -> TraceStore {
+        TraceStore::default()
+    }
+
+    /// A store from pre-collected records (sorted on construction).
+    pub fn from_records(proxy: Vec<ProxyRecord>, mme: Vec<MmeRecord>) -> TraceStore {
+        let mut s = TraceStore { proxy, mme };
+        s.sort_by_time();
+        s
+    }
+
+    /// Appends a proxy record (call [`TraceStore::sort_by_time`] after bulk
+    /// loading out-of-order data).
+    pub fn push_proxy(&mut self, r: ProxyRecord) {
+        self.proxy.push(r);
+    }
+
+    /// Appends an MME record.
+    pub fn push_mme(&mut self, r: MmeRecord) {
+        self.mme.push(r);
+    }
+
+    /// All proxy records, time-sorted.
+    pub fn proxy(&self) -> &[ProxyRecord] {
+        &self.proxy
+    }
+
+    /// All MME records, time-sorted.
+    pub fn mme(&self) -> &[MmeRecord] {
+        &self.mme
+    }
+
+    /// Number of proxy + MME records.
+    pub fn len(&self) -> usize {
+        self.proxy.len() + self.mme.len()
+    }
+
+    /// `true` when both logs are empty.
+    pub fn is_empty(&self) -> bool {
+        self.proxy.is_empty() && self.mme.is_empty()
+    }
+
+    /// Stably sorts both logs by timestamp.
+    pub fn sort_by_time(&mut self) {
+        self.proxy.sort_by_key(|r| r.timestamp);
+        self.mme.sort_by_key(|r| r.timestamp);
+    }
+
+    /// `true` if both logs are time-ordered.
+    pub fn is_time_sorted(&self) -> bool {
+        self.proxy.windows(2).all(|w| w[0].timestamp <= w[1].timestamp)
+            && self.mme.windows(2).all(|w| w[0].timestamp <= w[1].timestamp)
+    }
+
+    /// Merges another store into this one, re-sorting.
+    pub fn merge(&mut self, other: TraceStore) {
+        self.proxy.extend(other.proxy);
+        self.mme.extend(other.mme);
+        self.sort_by_time();
+    }
+
+    /// The proxy records inside `range` (binary-searched; store must be
+    /// time-sorted).
+    pub fn proxy_in(&self, range: TimeRange) -> &[ProxyRecord] {
+        debug_assert!(self.is_time_sorted());
+        let lo = self.proxy.partition_point(|r| r.timestamp < range.start());
+        let hi = self.proxy.partition_point(|r| r.timestamp < range.end());
+        &self.proxy[lo..hi]
+    }
+
+    /// The MME records inside `range`.
+    pub fn mme_in(&self, range: TimeRange) -> &[MmeRecord] {
+        debug_assert!(self.is_time_sorted());
+        let lo = self.mme.partition_point(|r| r.timestamp < range.start());
+        let hi = self.mme.partition_point(|r| r.timestamp < range.end());
+        &self.mme[lo..hi]
+    }
+
+    /// Persists both logs as `proxy.log` and `mme.log` under `dir`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut pw = LogWriter::new(BufWriter::new(File::create(dir.join("proxy.log"))?));
+        for r in &self.proxy {
+            pw.write(r)?;
+        }
+        pw.flush()?;
+        let mut mw = LogWriter::new(BufWriter::new(File::create(dir.join("mme.log"))?));
+        for r in &self.mme {
+            mw.write(r)?;
+        }
+        mw.flush()?;
+        Ok(())
+    }
+
+    /// Loads a store previously written by [`TraceStore::save`].
+    ///
+    /// # Errors
+    /// Fails on filesystem errors or malformed lines.
+    pub fn load(dir: &Path) -> Result<TraceStore, ReadError> {
+        let proxy_file = File::open(dir.join("proxy.log")).map_err(ReadError::Io)?;
+        let proxy: Vec<ProxyRecord> =
+            LogReader::new(BufReader::new(proxy_file)).collect::<Result<_, _>>()?;
+        let mme_file = File::open(dir.join("mme.log")).map_err(ReadError::Io)?;
+        let mme: Vec<MmeRecord> =
+            LogReader::new(BufReader::new(mme_file)).collect::<Result<_, _>>()?;
+        Ok(TraceStore::from_records(proxy, mme))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::UserId;
+    use crate::mme::MmeEvent;
+    use crate::proxy::Scheme;
+    use wearscope_simtime::SimTime;
+
+    fn proxy_at(t: u64) -> ProxyRecord {
+        ProxyRecord {
+            timestamp: SimTime::from_secs(t),
+            user: UserId(1),
+            imei: 352000011234564,
+            host: "x.example.com".into(),
+            scheme: Scheme::Https,
+            bytes_down: 100,
+            bytes_up: 10,
+        }
+    }
+
+    fn mme_at(t: u64) -> MmeRecord {
+        MmeRecord {
+            timestamp: SimTime::from_secs(t),
+            user: UserId(1),
+            imei: 352000011234564,
+            event: MmeEvent::SectorUpdate,
+            sector: 3,
+        }
+    }
+
+    #[test]
+    fn from_records_sorts() {
+        let s = TraceStore::from_records(
+            vec![proxy_at(5), proxy_at(1), proxy_at(3)],
+            vec![mme_at(9), mme_at(2)],
+        );
+        assert!(s.is_time_sorted());
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn range_queries() {
+        let s = TraceStore::from_records(
+            (0..10).map(proxy_at).collect(),
+            (0..10).map(mme_at).collect(),
+        );
+        let r = TimeRange::new(SimTime::from_secs(3), SimTime::from_secs(7));
+        assert_eq!(s.proxy_in(r).len(), 4);
+        assert_eq!(s.mme_in(r).len(), 4);
+        assert_eq!(s.proxy_in(r)[0].timestamp.as_secs(), 3);
+        assert_eq!(s.proxy_in(r)[3].timestamp.as_secs(), 6);
+    }
+
+    #[test]
+    fn merge_resorts() {
+        let mut a = TraceStore::from_records(vec![proxy_at(10)], vec![]);
+        let b = TraceStore::from_records(vec![proxy_at(5)], vec![mme_at(1)]);
+        a.merge(b);
+        assert!(a.is_time_sorted());
+        assert_eq!(a.proxy()[0].timestamp.as_secs(), 5);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let s = TraceStore::from_records(
+            (0..100).map(proxy_at).collect(),
+            (0..50).map(mme_at).collect(),
+        );
+        let dir = std::env::temp_dir().join(format!("wearscope-store-{}", std::process::id()));
+        s.save(&dir).unwrap();
+        let loaded = TraceStore::load(&dir).unwrap();
+        assert_eq!(loaded.proxy(), s.proxy());
+        assert_eq!(loaded.mme(), s.mme());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = TraceStore::new();
+        assert!(s.is_empty());
+        assert!(s.is_time_sorted());
+        let r = TimeRange::new(SimTime::EPOCH, SimTime::from_secs(100));
+        assert!(s.proxy_in(r).is_empty());
+    }
+}

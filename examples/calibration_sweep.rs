@@ -1,0 +1,86 @@
+//! Calibration sensitivity sweep: vary one generator knob at a time and
+//! show the corresponding *measured* observable tracking it through the
+//! whole system (generator → network elements → logs → analysis pipeline).
+//!
+//! This is the strongest evidence that the pipeline measures what it claims
+//! to measure: when the world changes, the measurement follows.
+//!
+//! ```sh
+//! cargo run --release --example calibration_sweep
+//! ```
+
+use wearscope::core::takeaways::Takeaways;
+use wearscope::prelude::*;
+use wearscope::report::Table;
+
+fn measure(config: &ScenarioConfig) -> Takeaways {
+    let world = generate(config);
+    let ctx = StudyContext::new(
+        &world.store,
+        &world.db,
+        &world.sectors,
+        &world.apps,
+        world.config.window,
+    );
+    Takeaways::compute(&ctx, &world.summaries)
+}
+
+fn base_config(seed: u64) -> ScenarioConfig {
+    let mut c = ScenarioConfig::compact(seed);
+    c.wearable_users = 400;
+    c.comparison_users = 400;
+    c.through_device_users = 80;
+    c.workers = 4;
+    c
+}
+
+fn main() {
+    println!("sweeping three calibration knobs (compact scale, seed-matched)\n");
+
+    // --- Knob 1: data_active_fraction → measured data-active share ----------
+    let mut t = Table::new(vec!["configured data-active", "measured share"]);
+    for target in [0.15, 0.34, 0.60] {
+        let mut config = base_config(101);
+        config.calibration.data_active_fraction = target;
+        let m = measure(&config);
+        t.row(vec![format!("{target:.2}"), format!("{:.3}", m.data_active_share)]);
+    }
+    println!("== Sec 4.1: data-active share tracks the adoption knob ==");
+    print!("{}", t.render());
+
+    // --- Knob 2: home_user_share → measured single-location share ------------
+    let mut t = Table::new(vec!["configured home-user share", "measured single-location"]);
+    for target in [0.30, 0.60, 0.90] {
+        let mut config = base_config(202);
+        config.calibration.home_user_share = target;
+        let m = measure(&config);
+        t.row(vec![
+            format!("{target:.2}"),
+            format!("{:.3}", m.single_location_share),
+        ]);
+    }
+    println!("\n== Sec 4.4: single-location share tracks the home-user knob ==");
+    print!("{}", t.render());
+
+    // --- Knob 3: wearable commute distance → measured displacement gap -------
+    let mut t = Table::new(vec![
+        "configured commute median (km)",
+        "measured owner displacement (km)",
+        "owner/rest ratio",
+    ]);
+    for target in [6.0, 14.0, 28.0] {
+        let mut config = base_config(303);
+        config.calibration.wearable_commute_median_km = target;
+        let m = measure(&config);
+        t.row(vec![
+            format!("{target:.0}"),
+            format!("{:.1}", m.owner_displacement_km),
+            format!("{:.2}", m.owner_displacement_km / m.rest_displacement_km.max(0.01)),
+        ]);
+    }
+    println!("\n== Sec 4.4: displacement tracks the commute knob ==");
+    print!("{}", t.render());
+
+    println!("\neach measured column should rise monotonically with its knob —");
+    println!("that is the generator → logs → pipeline loop closing.");
+}

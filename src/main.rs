@@ -1,0 +1,223 @@
+//! The `wearscope` command-line tool.
+//!
+//! ```text
+//! wearscope generate  --seed 7 --scale paper --out ./world   # simulate + persist logs
+//! wearscope analyze   --world ./world [--csv ./figures]      # run the pipeline on saved logs
+//! wearscope experiments --seed 7 --scale quick               # generate + analyze in memory
+//! ```
+//!
+//! `generate` and `analyze` are deliberately separate: the analysis side
+//! only ever touches what an ISP analyst would have (logs, cell plan,
+//! vantage summaries), so you can regenerate, ship, or tamper with the log
+//! directory and re-analyze independently.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wearscope::core::takeaways::Takeaways;
+use wearscope::prelude::*;
+use wearscope::report::{figures::FigureCsvExporter, render_full_report, ExperimentReport};
+use wearscope::synthpop::SavedWorld;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("experiments") => cmd_experiments(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+wearscope — reproduction of 'A First Look at SIM-Enabled Wearables in the Wild' (IMC'18)
+
+USAGE:
+    wearscope generate   --out DIR [--seed N] [--scale quick|compact|paper]
+    wearscope analyze    --world DIR [--full] [--csv DIR]
+    wearscope experiments [--seed N] [--scale quick|compact|paper]
+
+COMMANDS:
+    generate     simulate a world and persist logs + cell plan + summaries
+    analyze      run the full analysis pipeline over a saved world
+    experiments  generate in memory and print the paper-vs-measured table
+
+OPTIONS:
+    --seed N     master seed (default 7); the world is a pure function of it
+    --scale S    quick (6wk/~400 users), compact (6wk/~900), paper (151d/~5100)
+    --out DIR    output directory for generate
+    --world DIR  directory written by generate
+    --full       print the complete per-figure report, not just the table
+    --csv DIR    also export every figure's data series as CSV files
+";
+
+/// Parses `--flag value` pairs.
+fn flag(args: &[String], name: &str) -> Result<Option<String>, String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            return match it.next() {
+                Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+                _ => Err(format!("{name} requires a value")),
+            };
+        }
+    }
+    Ok(None)
+}
+
+fn scale_config(args: &[String]) -> Result<ScenarioConfig, String> {
+    let seed: u64 = flag(args, "--seed")?
+        .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+        .transpose()?
+        .unwrap_or(7);
+    let scale = flag(args, "--scale")?.unwrap_or_else(|| "compact".into());
+    match scale.as_str() {
+        "quick" => {
+            let mut c = ScenarioConfig::compact(seed);
+            c.wearable_users = 150;
+            c.comparison_users = 200;
+            c.through_device_users = 50;
+            Ok(c)
+        }
+        "compact" => Ok(ScenarioConfig::compact(seed)),
+        "paper" => Ok(ScenarioConfig::paper(seed)),
+        other => Err(format!("unknown scale `{other}` (quick|compact|paper)")),
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let out = PathBuf::from(flag(args, "--out")?.ok_or("generate requires --out DIR")?);
+    let config = scale_config(args)?;
+    eprintln!(
+        "generating {} subscribers over {} days (seed {}) ...",
+        config.total_users(),
+        config.window.summary().num_days(),
+        config.seed
+    );
+    let t0 = std::time::Instant::now();
+    let world = generate(&config);
+    eprintln!(
+        "  {} proxy + {} MME records in {:.1?}",
+        world.store.proxy().len(),
+        world.store.mme().len(),
+        t0.elapsed()
+    );
+    world.save(&out).map_err(|e| e.to_string())?;
+    println!("world written to {}", out.display());
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let dir = PathBuf::from(flag(args, "--world")?.ok_or("analyze requires --world DIR")?);
+    let saved = SavedWorld::load_dir(&dir)?;
+    let db = DeviceDb::standard();
+    let catalog = AppCatalog::standard();
+    let ctx = StudyContext::new(&saved.store, &db, &saved.sectors, &catalog, saved.window);
+    if args.iter().any(|a| a == "--full") {
+        print!("{}", render_full_report(&ctx, &saved.summaries));
+        println!();
+    }
+    let takeaways = Takeaways::compute(&ctx, &saved.summaries);
+    let report = ExperimentReport::from_takeaways_with_window(
+        &takeaways,
+        saved.window.summary().num_days(),
+    );
+    print!("{}", report.render());
+    if let Some(csv_dir) = flag(args, "--csv")? {
+        let csv_dir = PathBuf::from(csv_dir);
+        let exporter = FigureCsvExporter::new(&ctx, &saved.summaries);
+        let written = exporter.export_all(&csv_dir).map_err(|e| e.to_string())?;
+        println!("\n{} CSV figure files written to {}", written, csv_dir.display());
+    }
+    Ok(())
+}
+
+fn cmd_experiments(args: &[String]) -> Result<(), String> {
+    let config = scale_config(args)?;
+    eprintln!(
+        "generating {} subscribers (seed {}, {} days) ...",
+        config.total_users(),
+        config.seed,
+        config.window.summary().num_days()
+    );
+    let world = generate(&config);
+    let ctx = StudyContext::new(
+        &world.store,
+        &world.db,
+        &world.sectors,
+        &world.apps,
+        world.config.window,
+    );
+    let takeaways = Takeaways::compute(&ctx, &world.summaries);
+    let report = ExperimentReport::from_takeaways_with_window(
+        &takeaways,
+        config.window.summary().num_days(),
+    );
+    print!("{}", report.render());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let a = args(&["--seed", "42", "--out", "/tmp/x"]);
+        assert_eq!(flag(&a, "--seed").unwrap().as_deref(), Some("42"));
+        assert_eq!(flag(&a, "--out").unwrap().as_deref(), Some("/tmp/x"));
+        assert_eq!(flag(&a, "--missing").unwrap(), None);
+        // A flag directly followed by another flag has no value.
+        let a = args(&["--seed", "--out"]);
+        assert!(flag(&a, "--seed").is_err());
+    }
+
+    #[test]
+    fn scale_selection() {
+        let c = scale_config(&args(&["--scale", "paper", "--seed", "9"])).unwrap();
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.window.summary().num_days(), 151);
+        let c = scale_config(&args(&["--scale", "quick"])).unwrap();
+        assert_eq!(c.wearable_users, 150);
+        let c = scale_config(&args(&[])).unwrap();
+        assert_eq!(c.seed, 7);
+        assert!(scale_config(&args(&["--scale", "galactic"])).is_err());
+        assert!(scale_config(&args(&["--seed", "abc"])).is_err());
+    }
+
+    #[test]
+    fn generate_requires_out() {
+        assert!(cmd_generate(&args(&["--seed", "1"])).is_err());
+    }
+
+    #[test]
+    fn analyze_rejects_missing_world() {
+        assert!(cmd_analyze(&args(&["--world", "/nonexistent-wearscope-dir"])).is_err());
+    }
+}
+
+/// Thin trait-like shim so `analyze` reads like the library API.
+trait LoadDir: Sized {
+    fn load_dir(dir: &std::path::Path) -> Result<Self, String>;
+}
+
+impl LoadDir for SavedWorld {
+    fn load_dir(dir: &std::path::Path) -> Result<Self, String> {
+        GeneratedWorld::load(dir).map_err(|e| format!("loading {}: {e}", dir.display()))
+    }
+}

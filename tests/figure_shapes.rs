@@ -1,0 +1,236 @@
+//! Shape-level checks for the figures whose content is a *curve or ranking*
+//! rather than a scalar: diurnal profiles (Fig. 3a), app popularity ranks
+//! (Fig. 5a), category ranks (Fig. 6), per-usage volumes (Fig. 7), and the
+//! Fig. 8 ordering of domain classes.
+
+use std::sync::OnceLock;
+
+use wearscope::appdb::AppCategory;
+use wearscope::core::activity::HourlyProfile;
+use wearscope::core::apps::{AppPopularity, AppUsage, CategoryPopularity};
+use wearscope::core::sessions::{self, PerUsage};
+use wearscope::core::stats;
+use wearscope::core::thirdparty::DomainBreakdown;
+use wearscope::prelude::*;
+
+struct Shared {
+    world: GeneratedWorld,
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let mut config = ScenarioConfig::compact(555);
+        config.window = ObservationWindow::new(70, 28, wearscope::simtime::Calendar::PAPER);
+        config.wearable_users = 600;
+        config.comparison_users = 400;
+        config.through_device_users = 100;
+        config.workers = 4;
+        Shared {
+            world: generate(&config),
+        }
+    })
+}
+
+fn ctx(world: &GeneratedWorld) -> StudyContext<'_> {
+    StudyContext::new(
+        &world.store,
+        &world.db,
+        &world.sectors,
+        &world.apps,
+        world.config.window,
+    )
+}
+
+#[test]
+fn fig3a_diurnal_shape() {
+    let world = &shared().world;
+    let c = ctx(world);
+    let p = HourlyProfile::compute(&c);
+
+    // Normalization: metrics sum to 1 over the average week.
+    assert!((p.weekly_total_users() - 1.0).abs() < 1e-9);
+
+    // Nights are quiet on both day types.
+    let night_tx: f64 = (1..5).map(|h| p.weekday[h].transactions).sum();
+    let day_tx: f64 = (9..21).map(|h| p.weekday[h].transactions).sum();
+    assert!(day_tx > 5.0 * night_tx, "day {day_tx} vs night {night_tx}");
+
+    // Weekday commute bumps: morning (6-8) and evening (16-19) beat the
+    // late-morning trough (10-11) per hour.
+    let avg = |hours: std::ops::Range<usize>, slots: &[wearscope::core::activity::HourStats; 24]| {
+        let n = hours.len() as f64;
+        hours.map(|h| slots[h].transactions).sum::<f64>() / n
+    };
+    let morning = avg(6..9, &p.weekday);
+    let evening = avg(16..20, &p.weekday);
+    let trough = avg(9..12, &p.weekday);
+    assert!(morning > 0.9 * trough, "morning {morning} vs trough {trough}");
+    assert!(evening > 1.05 * trough, "evening {evening} vs trough {trough}");
+
+    // Weekend mornings ramp later: weekend 7am share < weekday 7am share.
+    assert!(p.weekend[7].transactions < p.weekday[7].transactions);
+}
+
+#[test]
+fn fig5a_popularity_rank_tracks_catalog() {
+    let world = &shared().world;
+    let c = ctx(world);
+    let attributed = sessions::attribute_transactions(&c);
+    let pop = AppPopularity::compute(&attributed);
+
+    // Most of the catalog should be observed at this scale.
+    assert!(pop.rank.len() >= 35, "only {} apps observed", pop.rank.len());
+
+    // Observed user-share rank correlates strongly with catalog popularity
+    // rank (installs are popularity-weighted).
+    let xs: Vec<f64> = pop.rank.iter().map(|a| f64::from(a.raw())).collect();
+    let ys: Vec<f64> = (0..pop.rank.len()).map(|i| i as f64).collect();
+    let rho = stats::spearman(&xs, &ys);
+    assert!(rho > 0.6, "rank correlation {rho}");
+
+    // The paper's top app (Weather) is near the top here too.
+    let weather = c.catalog.by_name("Weather").unwrap().0;
+    let weather_pos = pop.rank.iter().position(|a| *a == weather).unwrap();
+    assert!(weather_pos < 5, "Weather ranked {weather_pos}");
+
+    // Shares decay: top app ≥ 10× the 30th app.
+    let top = pop.daily_associated_users[&pop.rank[0]];
+    let thirtieth = pop.daily_associated_users[&pop.rank[29.min(pop.rank.len() - 1)]];
+    assert!(top > 8.0 * thirtieth, "top {top} vs 30th {thirtieth}");
+}
+
+#[test]
+fn fig6_category_ranks() {
+    let world = &shared().world;
+    let c = ctx(world);
+    let attributed = sessions::attribute_transactions(&c);
+    let pop = AppPopularity::compute(&attributed);
+    let sess = sessions::sessionize(&attributed);
+    let usage = AppUsage::compute(&sess);
+    let cats = CategoryPopularity::compute(&c, &pop, &usage);
+
+    let users_rank: Vec<AppCategory> = CategoryPopularity::ranked(&cats.users)
+        .into_iter()
+        .map(|(c, _)| c)
+        .collect();
+    let top5: Vec<AppCategory> = users_rank.iter().take(5).copied().collect();
+
+    // Paper: Communication, Shopping, Social, Weather lead the user ranking.
+    // Note the paper's Fig. 5(a) app ranks (Weather #1, Google-Maps #2) are
+    // not perfectly consistent with its Fig. 6(a) category ranks under any
+    // per-app rollup; we check the robust invariants: Communication and
+    // Weather lead, Shopping and Social sit in the upper half.
+    assert!(top5.contains(&AppCategory::Communication), "top5 {top5:?}");
+    assert!(top5.contains(&AppCategory::Weather), "top5 {top5:?}");
+    let pos = |cat: AppCategory| {
+        users_rank
+            .iter()
+            .position(|c| *c == cat)
+            .unwrap_or(users_rank.len())
+    };
+    assert!(pos(AppCategory::Shopping) < 9, "Shopping ranked {}", pos(AppCategory::Shopping));
+    assert!(pos(AppCategory::Social) < 9, "Social ranked {}", pos(AppCategory::Social));
+    // Paper: Health & Fitness sits at the bottom despite wearables being
+    // fitness devices; Lifestyle (one niche app) stays in the bottom half.
+    let bottom5: Vec<AppCategory> = users_rank.iter().rev().take(5).copied().collect();
+    assert!(
+        bottom5.contains(&AppCategory::HealthFitness),
+        "bottom5 {bottom5:?}"
+    );
+    let lifestyle_pos = users_rank
+        .iter()
+        .position(|c| *c == AppCategory::Lifestyle)
+        .unwrap_or(users_rank.len());
+    assert!(lifestyle_pos >= 7, "Lifestyle ranked {lifestyle_pos} in {users_rank:?}");
+
+    // Data ranking: Communication carries a large share (paper: dominates
+    // data alongside Weather/Social).
+    let comm_data = cats.data.get(&AppCategory::Communication).copied().unwrap_or(0.0);
+    assert!(comm_data > 0.10, "Communication data share {comm_data}");
+
+    // All four metrics are normalized distributions.
+    for metric in [&cats.users, &cats.frequency, &cats.transactions, &cats.data] {
+        let sum: f64 = metric.values().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "metric sums to {sum}");
+    }
+}
+
+#[test]
+fn fig7_per_usage_spread() {
+    let world = &shared().world;
+    let c = ctx(world);
+    let attributed = sessions::attribute_transactions(&c);
+    let sess = sessions::sessionize(&attributed);
+    let per = PerUsage::compute(&sess);
+
+    let bytes_of = |name: &str| -> Option<f64> {
+        let id = c.catalog.by_name(name)?.0;
+        per.by_app.get(&id).map(|(_, b, _)| *b)
+    };
+    // Heavy communication/streaming apps move far more data per usage than
+    // payment apps (paper: WhatsApp/Deezer/Snapchat top, payments bottom).
+    let heavy = ["WhatsApp", "Deezer", "Snapchat", "Netflix"]
+        .iter()
+        .filter_map(|n| bytes_of(n))
+        .fold(0.0_f64, f64::max);
+    let light = ["Samsung-Pay", "Android-Pay", "Bank-App-1"]
+        .iter()
+        .filter_map(|n| bytes_of(n))
+        .fold(f64::INFINITY, f64::min);
+    assert!(heavy.is_finite() && light.is_finite(), "apps missing from sessions");
+    assert!(
+        heavy > 8.0 * light,
+        "heavy {heavy:.0} B vs light {light:.0} B per usage"
+    );
+
+    // The paper's Fig. 7 spans roughly 1 KB – 1 MB per usage.
+    let ecdf = PerUsage::usage_bytes_ecdf(&sess);
+    assert!(ecdf.quantile(0.05) > 200.0);
+    assert!(ecdf.quantile(0.99) > 50_000.0);
+}
+
+#[test]
+fn fig8_domain_class_ordering() {
+    let world = &shared().world;
+    let c = ctx(world);
+    let b = DomainBreakdown::compute(&c);
+
+    let app = b.data[DomainClass::Application.index()];
+    let util = b.data[DomainClass::Utilities.index()];
+    let ads = b.data[DomainClass::Advertising.index()];
+    let analytics = b.data[DomainClass::Analytics.index()];
+
+    // First party leads, but third parties are material (same OoM).
+    assert!(app > util && app > ads && app > analytics);
+    assert!(b.thirdparty_within_order_of_magnitude());
+    // Every class actually appears.
+    assert!(ads > 0.0 && analytics > 0.0 && util > 0.0);
+    // Nearly everything classifies (generator emits signed hosts only).
+    let classified: u64 = world
+        .store
+        .proxy()
+        .iter()
+        .filter(|r| c.is_wearable_record(r))
+        .count() as u64;
+    assert!(b.unclassified_transactions * 100 < classified.max(1));
+}
+
+#[test]
+fn fig2a_series_shape() {
+    use wearscope::core::adoption::AdoptionTrend;
+    let world = &shared().world;
+    let trend = AdoptionTrend::compute(&world.summaries.mme, &world.config.window);
+    // One point per day, normalized so the last value is 1.
+    assert_eq!(
+        trend.daily_normalized.len() as u64,
+        world.config.window.summary().num_days()
+    );
+    let (_, last) = *trend.daily_normalized.last().unwrap();
+    assert!((last - 1.0).abs() < 1e-9);
+    // All values in a sane normalized band.
+    assert!(trend
+        .daily_normalized
+        .iter()
+        .all(|(_, v)| (0.5..=1.5).contains(v)));
+}

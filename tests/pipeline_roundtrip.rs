@@ -1,0 +1,162 @@
+//! Cross-crate round-trip tests: logs written to disk and reloaded must
+//! drive the pipeline to identical results, determinism must hold end to
+//! end, and the reader must survive injected corruption.
+
+use std::io::Write;
+
+use wearscope::core::takeaways::Takeaways;
+use wearscope::prelude::*;
+
+fn small_world(seed: u64) -> GeneratedWorld {
+    let mut config = ScenarioConfig::compact(seed);
+    config.wearable_users = 120;
+    config.comparison_users = 150;
+    config.through_device_users = 40;
+    generate(&config)
+}
+
+fn takeaways_of(world: &GeneratedWorld, store: &TraceStore) -> Takeaways {
+    let ctx = StudyContext::new(store, &world.db, &world.sectors, &world.apps, world.config.window);
+    Takeaways::compute(&ctx, &world.summaries)
+}
+
+#[test]
+fn disk_roundtrip_preserves_analysis() {
+    let world = small_world(71);
+    let dir = std::env::temp_dir().join(format!("wearscope-e2e-{}", std::process::id()));
+    world.store.save(&dir).expect("save traces");
+    let reloaded = TraceStore::load(&dir).expect("load traces");
+    assert_eq!(reloaded.proxy(), world.store.proxy());
+    assert_eq!(reloaded.mme(), world.store.mme());
+
+    let a = takeaways_of(&world, &world.store);
+    let b = takeaways_of(&world, &reloaded);
+    assert_eq!(a.median_tx_bytes, b.median_tx_bytes);
+    assert_eq!(a.owner_bytes_ratio, b.owner_bytes_ratio);
+    assert_eq!(a.single_location_share, b.single_location_share);
+    assert_eq!(a.mean_apps_per_user, b.mean_apps_per_user);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generation_fully_deterministic_end_to_end() {
+    let a = small_world(72);
+    let b = small_world(72);
+    let ta = takeaways_of(&a, &a.store);
+    let tb = takeaways_of(&b, &b.store);
+    assert_eq!(ta.median_tx_bytes, tb.median_tx_bytes);
+    assert_eq!(ta.data_active_share, tb.data_active_share);
+    assert_eq!(ta.owner_displacement_km, tb.owner_displacement_km);
+    assert_eq!(ta.entropy_ratio, tb.entropy_ratio);
+    assert_eq!(a.stats.events, b.stats.events);
+}
+
+#[test]
+fn different_seeds_give_different_worlds() {
+    let a = small_world(73);
+    let b = small_world(74);
+    assert_ne!(a.store.proxy().len(), b.store.proxy().len());
+}
+
+#[test]
+fn corrupted_log_lines_are_reported_not_ignored() {
+    use wearscope::trace::{LogReader, ProxyRecord, TsvRecord};
+    let world = small_world(75);
+    let dir = std::env::temp_dir().join(format!("wearscope-corrupt-{}", std::process::id()));
+    world.store.save(&dir).expect("save traces");
+
+    // Inject garbage in the middle of the proxy log.
+    let path = dir.join("proxy.log");
+    let mut content = std::fs::read_to_string(&path).unwrap();
+    let insert_at = content.len() / 2;
+    let insert_at = content[..insert_at].rfind('\n').map_or(0, |i| i + 1);
+    content.insert_str(insert_at, "THIS IS NOT A RECORD\n");
+    std::fs::File::create(&path)
+        .unwrap()
+        .write_all(content.as_bytes())
+        .unwrap();
+
+    // Strict load fails loudly...
+    assert!(TraceStore::load(&dir).is_err());
+
+    // ...while a tolerant reader can skip exactly the bad line.
+    let file = std::fs::File::open(&path).unwrap();
+    let reader = LogReader::<_, ProxyRecord>::new(std::io::BufReader::new(file));
+    let mut good = 0usize;
+    let mut bad = 0usize;
+    for item in reader {
+        match item {
+            Ok(_) => good += 1,
+            Err(_) => bad += 1,
+        }
+    }
+    assert_eq!(bad, 1);
+    assert_eq!(good, world.store.proxy().len());
+
+    // Round-trip sanity for a single record line.
+    let line = world.store.proxy()[0].to_line();
+    assert_eq!(ProxyRecord::from_line(&line).unwrap(), world.store.proxy()[0]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analysis_ignores_foreign_devices() {
+    // Records from devices outside the device DB must not crash the pipeline
+    // nor count as wearables.
+    let world = small_world(76);
+    let mut store = world.store.clone();
+    let n_before_owners = {
+        let ctx = StudyContext::new(&store, &world.db, &world.sectors, &world.apps, world.config.window);
+        ctx.owners().len()
+    };
+    // Inject transactions from an unknown IMEI (valid Luhn, unknown TAC).
+    let foreign = wearscope::devicedb::Imei::from_parts(
+        wearscope::devicedb::Tac::new(99_123_456).unwrap(),
+        7,
+    )
+    .unwrap()
+    .as_u64();
+    for k in 0..50u64 {
+        store.push_proxy(ProxyRecord {
+            timestamp: world.config.window.detailed().start() + SimDuration::from_secs(60 * k),
+            user: UserId(0xDEAD_0000 + k),
+            imei: foreign,
+            host: "api.weather.com".into(),
+            scheme: wearscope::trace::Scheme::Https,
+            bytes_down: 1_000,
+            bytes_up: 100,
+        });
+    }
+    store.sort_by_time();
+    let ctx = StudyContext::new(&store, &world.db, &world.sectors, &world.apps, world.config.window);
+    assert_eq!(ctx.owners().len(), n_before_owners, "foreign devices must not become owners");
+    assert_eq!(ctx.device_class(foreign), None);
+    // Pipeline still runs.
+    let t = Takeaways::compute(&ctx, &world.summaries);
+    assert!(t.median_tx_bytes > 0.0);
+}
+
+#[test]
+fn network_summaries_consistent_with_logs() {
+    // Every wearable user seen in the detailed proxy log must appear in the
+    // proxy's long-horizon summary for those days.
+    let world = small_world(77);
+    let ctx = StudyContext::new(
+        &world.store,
+        &world.db,
+        &world.sectors,
+        &world.apps,
+        world.config.window,
+    );
+    let detail_days = world.config.window.detailed();
+    let from = detail_days.start().day_index();
+    let to = detail_days.end().day_index() + 1;
+    let summary_users = world.summaries.wearable_traffic.users_in_days(from, to);
+    for r in ctx.wearable_proxy() {
+        assert!(
+            summary_users.contains(&r.user),
+            "user {:?} in log but not in summary",
+            r.user
+        );
+    }
+}
