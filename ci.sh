@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local CI gate: format, lint, release build, tests.
+# Run from the repo root; any failure stops the script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "CI green."

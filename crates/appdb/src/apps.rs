@@ -118,10 +118,18 @@ mod tests {
     fn domain_mix_validity() {
         assert!(DomainMix::FIRST_PARTY_ONLY.is_valid());
         assert_eq!(DomainMix::FIRST_PARTY_ONLY.application(), 1.0);
-        let m = DomainMix { utilities: 0.2, advertising: 0.1, analytics: 0.1 };
+        let m = DomainMix {
+            utilities: 0.2,
+            advertising: 0.1,
+            analytics: 0.1,
+        };
         assert!(m.is_valid());
         assert!((m.application() - 0.6).abs() < 1e-12);
-        let bad = DomainMix { utilities: 0.7, advertising: 0.5, analytics: 0.1 };
+        let bad = DomainMix {
+            utilities: 0.7,
+            advertising: 0.5,
+            analytics: 0.1,
+        };
         assert!(!bad.is_valid());
     }
 

@@ -31,7 +31,11 @@ const NOTIFY: TrafficProfile = TrafficProfile {
     tx_per_usage: 4.0,
     median_tx_bytes: 2_200.0,
     sigma_tx_bytes: 1.0,
-    mix: DomainMix { utilities: 0.14, advertising: 0.08, analytics: 0.13 },
+    mix: DomainMix {
+        utilities: 0.14,
+        advertising: 0.08,
+        analytics: 0.13,
+    },
 };
 
 /// Rich messaging / media exchange: fewer sessions, heavier payloads.
@@ -40,7 +44,11 @@ const MEDIA_MSG: TrafficProfile = TrafficProfile {
     tx_per_usage: 6.0,
     median_tx_bytes: 9_000.0,
     sigma_tx_bytes: 1.6,
-    mix: DomainMix { utilities: 0.18, advertising: 0.06, analytics: 0.10 },
+    mix: DomainMix {
+        utilities: 0.18,
+        advertising: 0.06,
+        analytics: 0.10,
+    },
 };
 
 /// Audio/video streaming: long sessions, large transfers.
@@ -49,7 +57,11 @@ const STREAM: TrafficProfile = TrafficProfile {
     tx_per_usage: 8.0,
     median_tx_bytes: 32_000.0,
     sigma_tx_bytes: 1.5,
-    mix: DomainMix { utilities: 0.25, advertising: 0.09, analytics: 0.09 },
+    mix: DomainMix {
+        utilities: 0.25,
+        advertising: 0.09,
+        analytics: 0.09,
+    },
 };
 
 /// Micro-interaction payments: a couple of tiny exchanges per use.
@@ -58,7 +70,11 @@ const PAYMENT: TrafficProfile = TrafficProfile {
     tx_per_usage: 2.0,
     median_tx_bytes: 1_400.0,
     sigma_tx_bytes: 0.7,
-    mix: DomainMix { utilities: 0.08, advertising: 0.0, analytics: 0.10 },
+    mix: DomainMix {
+        utilities: 0.08,
+        advertising: 0.0,
+        analytics: 0.10,
+    },
 };
 
 /// Background sync (cloud drives, health data).
@@ -67,7 +83,11 @@ const SYNC: TrafficProfile = TrafficProfile {
     tx_per_usage: 3.0,
     median_tx_bytes: 6_000.0,
     sigma_tx_bytes: 1.4,
-    mix: DomainMix { utilities: 0.15, advertising: 0.0, analytics: 0.08 },
+    mix: DomainMix {
+        utilities: 0.15,
+        advertising: 0.0,
+        analytics: 0.08,
+    },
 };
 
 /// Feed browsing (news, social, shopping).
@@ -76,7 +96,11 @@ const BROWSE: TrafficProfile = TrafficProfile {
     tx_per_usage: 5.0,
     median_tx_bytes: 3_200.0,
     sigma_tx_bytes: 1.3,
-    mix: DomainMix { utilities: 0.20, advertising: 0.16, analytics: 0.14 },
+    mix: DomainMix {
+        utilities: 0.20,
+        advertising: 0.16,
+        analytics: 0.14,
+    },
 };
 
 /// Maps and navigation: tile fetches in bursts.
@@ -85,7 +109,11 @@ const MAPS: TrafficProfile = TrafficProfile {
     tx_per_usage: 6.0,
     median_tx_bytes: 5_500.0,
     sigma_tx_bytes: 1.2,
-    mix: DomainMix { utilities: 0.22, advertising: 0.02, analytics: 0.06 },
+    mix: DomainMix {
+        utilities: 0.22,
+        advertising: 0.02,
+        analytics: 0.06,
+    },
 };
 
 /// Voice assistants and other micro-interaction tools.
@@ -94,7 +122,11 @@ const MICRO: TrafficProfile = TrafficProfile {
     tx_per_usage: 3.0,
     median_tx_bytes: 3_200.0,
     sigma_tx_bytes: 0.9,
-    mix: DomainMix { utilities: 0.12, advertising: 0.05, analytics: 0.12 },
+    mix: DomainMix {
+        utilities: 0.12,
+        advertising: 0.05,
+        analytics: 0.12,
+    },
 };
 
 /// The catalog of all apps observed generating wearable cellular traffic.
@@ -198,63 +230,223 @@ fn standard_apps() -> Vec<AppProfile> {
     };
 
     vec![
-        app("Weather", Weather, &["wearable.weather.com", "api.weather.com"], NOTIFY),
-        app("Google-Maps", MapsNavigation, &["maps.googleapis.com", "maps.gstatic.com"], MAPS),
-        app("Accuweather", Weather, &["api.accuweather.com", "wear.accuweather.com"], NOTIFY),
-        app("Flipboard", NewsMagazines, &["fbprod.flipboard.com"], BROWSE),
-        app("YouTube", Entertainment, &["youtubei.googleapis.com", "yt3.ggpht.com"], STREAM),
-        app("Messenger", Communication, &["edge-chat.facebook.com", "api.messenger.com"],
-            profile!(NOTIFY, usages_per_active_day: 8.0, tx_per_usage: 6.0, median_tx_bytes: 1_800.0)),
-        app("Google-App", Tools, &["app.google.com", "assistant.google.com"], MICRO),
-        app("Facebook", Social, &["graph.facebook.com", "star.c10r.facebook.com"], BROWSE),
-        app("Samsung-Pay", Shopping, &["pay.samsung.com", "spay-api.samsung.com"], PAYMENT),
-        app("Android-Pay", Shopping, &["pay.google.com", "androidpay.googleapis.com"], PAYMENT),
-        app("Roaming-App", TravelLocal, &["roaming.operator-selfcare.com"], MICRO),
-        app("WhatsApp", Communication, &["g.whatsapp.net", "mmg.whatsapp.net"],
-            profile!(MEDIA_MSG, usages_per_active_day: 6.0, median_tx_bytes: 12_000.0)),
-        app("Outlook", Productivity, &["outlook.office365.com", "substrate.office.com"],
-            profile!(NOTIFY, usages_per_active_day: 7.0, tx_per_usage: 5.0, median_tx_bytes: 1_600.0)),
-        app("Street-View", TravelLocal, &["streetviewpixels-pa.googleapis.com"], MAPS),
-        app("MMS", Communication, &["mms.operator.com"], profile!(MICRO, median_tx_bytes: 16_000.0, sigma_tx_bytes: 1.1)),
-        app("Twitter", Social, &["api.twitter.com", "pbs.twimg.com"], BROWSE),
-        app("Skype", Communication, &["api.skype.com", "edge.skype.com"], MEDIA_MSG),
+        app(
+            "Weather",
+            Weather,
+            &["wearable.weather.com", "api.weather.com"],
+            NOTIFY,
+        ),
+        app(
+            "Google-Maps",
+            MapsNavigation,
+            &["maps.googleapis.com", "maps.gstatic.com"],
+            MAPS,
+        ),
+        app(
+            "Accuweather",
+            Weather,
+            &["api.accuweather.com", "wear.accuweather.com"],
+            NOTIFY,
+        ),
+        app(
+            "Flipboard",
+            NewsMagazines,
+            &["fbprod.flipboard.com"],
+            BROWSE,
+        ),
+        app(
+            "YouTube",
+            Entertainment,
+            &["youtubei.googleapis.com", "yt3.ggpht.com"],
+            STREAM,
+        ),
+        app(
+            "Messenger",
+            Communication,
+            &["edge-chat.facebook.com", "api.messenger.com"],
+            profile!(NOTIFY, usages_per_active_day: 8.0, tx_per_usage: 6.0, median_tx_bytes: 1_800.0),
+        ),
+        app(
+            "Google-App",
+            Tools,
+            &["app.google.com", "assistant.google.com"],
+            MICRO,
+        ),
+        app(
+            "Facebook",
+            Social,
+            &["graph.facebook.com", "star.c10r.facebook.com"],
+            BROWSE,
+        ),
+        app(
+            "Samsung-Pay",
+            Shopping,
+            &["pay.samsung.com", "spay-api.samsung.com"],
+            PAYMENT,
+        ),
+        app(
+            "Android-Pay",
+            Shopping,
+            &["pay.google.com", "androidpay.googleapis.com"],
+            PAYMENT,
+        ),
+        app(
+            "Roaming-App",
+            TravelLocal,
+            &["roaming.operator-selfcare.com"],
+            MICRO,
+        ),
+        app(
+            "WhatsApp",
+            Communication,
+            &["g.whatsapp.net", "mmg.whatsapp.net"],
+            profile!(MEDIA_MSG, usages_per_active_day: 6.0, median_tx_bytes: 12_000.0),
+        ),
+        app(
+            "Outlook",
+            Productivity,
+            &["outlook.office365.com", "substrate.office.com"],
+            profile!(NOTIFY, usages_per_active_day: 7.0, tx_per_usage: 5.0, median_tx_bytes: 1_600.0),
+        ),
+        app(
+            "Street-View",
+            TravelLocal,
+            &["streetviewpixels-pa.googleapis.com"],
+            MAPS,
+        ),
+        app(
+            "MMS",
+            Communication,
+            &["mms.operator.com"],
+            profile!(MICRO, median_tx_bytes: 16_000.0, sigma_tx_bytes: 1.1),
+        ),
+        app(
+            "Twitter",
+            Social,
+            &["api.twitter.com", "pbs.twimg.com"],
+            BROWSE,
+        ),
+        app(
+            "Skype",
+            Communication,
+            &["api.skype.com", "edge.skype.com"],
+            MEDIA_MSG,
+        ),
         app("S-Voice", Tools, &["svoice.samsungsvc.com"], MICRO),
         app("Ebay", Shopping, &["api.ebay.com", "i.ebayimg.com"], BROWSE),
-        app("Spotify", MusicAudio, &["spclient.wg.spotify.com", "audio-fa.scdn.co"], STREAM),
-        app("News-App-1", NewsMagazines, &["feed.news-app-one.com"], BROWSE),
-        app("Opera-Mini", Communication, &["mini5-1.opera-mini.net"], BROWSE),
-        app("Dropbox", Productivity, &["api.dropboxapi.com", "content.dropboxapi.com"], SYNC),
-        app("News-App-3", NewsMagazines, &["cdn.news-app-three.com"], BROWSE),
-        app("Snapchat", Social, &["app.snapchat.com", "sc-cdn.net"],
-            profile!(MEDIA_MSG, median_tx_bytes: 14_000.0)),
+        app(
+            "Spotify",
+            MusicAudio,
+            &["spclient.wg.spotify.com", "audio-fa.scdn.co"],
+            STREAM,
+        ),
+        app(
+            "News-App-1",
+            NewsMagazines,
+            &["feed.news-app-one.com"],
+            BROWSE,
+        ),
+        app(
+            "Opera-Mini",
+            Communication,
+            &["mini5-1.opera-mini.net"],
+            BROWSE,
+        ),
+        app(
+            "Dropbox",
+            Productivity,
+            &["api.dropboxapi.com", "content.dropboxapi.com"],
+            SYNC,
+        ),
+        app(
+            "News-App-3",
+            NewsMagazines,
+            &["cdn.news-app-three.com"],
+            BROWSE,
+        ),
+        app(
+            "Snapchat",
+            Social,
+            &["app.snapchat.com", "sc-cdn.net"],
+            profile!(MEDIA_MSG, median_tx_bytes: 14_000.0),
+        ),
         app("OneDrive", Productivity, &["api.onedrive.com"], SYNC),
-        app("Amazon", Shopping, &["api.amazon.com", "images-amazon.com"], BROWSE),
+        app(
+            "Amazon",
+            Shopping,
+            &["api.amazon.com", "images-amazon.com"],
+            BROWSE,
+        ),
         app("PayPal", Finance, &["api.paypal.com"], PAYMENT),
         app("Metro", MapsNavigation, &["api.metro-transit.app"], MICRO),
         app("Tools-App-2", Tools, &["sync.tools-app-two.io"], MICRO),
         app("Bank-App-1", Finance, &["mobile.bank-one.com"], PAYMENT),
-        app("S-Health", HealthFitness, &["shealth.samsunghealth.com"], SYNC),
-        app("Deezer", MusicAudio, &["api.deezer.com", "cdns-files.dzcdn.net"],
-            profile!(STREAM, median_tx_bytes: 42_000.0)),
+        app(
+            "S-Health",
+            HealthFitness,
+            &["shealth.samsunghealth.com"],
+            SYNC,
+        ),
+        app(
+            "Deezer",
+            MusicAudio,
+            &["api.deezer.com", "cdns-files.dzcdn.net"],
+            profile!(STREAM, median_tx_bytes: 42_000.0),
+        ),
         app("Viber", Communication, &["api.viber.com"], MEDIA_MSG),
-        app("Netflix", Entertainment, &["api-global.netflix.com", "nflxvideo.net"], STREAM),
+        app(
+            "Netflix",
+            Entertainment,
+            &["api-global.netflix.com", "nflxvideo.net"],
+            STREAM,
+        ),
         app("Tools-App-1", Tools, &["api.tools-app-one.io"], MICRO),
-        app("Travel-App", TravelLocal, &["api.travel-app.example"],
-            profile!(BROWSE, median_tx_bytes: 8_000.0)),
-        app("News-App-2", NewsMagazines, &["wire.news-app-two.com"], BROWSE),
-        app("Golf-NAVI", Sports, &["api.golf-navi.app"],
-            profile!(MAPS, usages_per_active_day: 3.0)),
-        app("Navigation-App", MapsNavigation, &["route.navigation-app.example"],
-            profile!(MAPS, median_tx_bytes: 7_000.0)),
+        app(
+            "Travel-App",
+            TravelLocal,
+            &["api.travel-app.example"],
+            profile!(BROWSE, median_tx_bytes: 8_000.0),
+        ),
+        app(
+            "News-App-2",
+            NewsMagazines,
+            &["wire.news-app-two.com"],
+            BROWSE,
+        ),
+        app(
+            "Golf-NAVI",
+            Sports,
+            &["api.golf-navi.app"],
+            profile!(MAPS, usages_per_active_day: 3.0),
+        ),
+        app(
+            "Navigation-App",
+            MapsNavigation,
+            &["route.navigation-app.example"],
+            profile!(MAPS, median_tx_bytes: 7_000.0),
+        ),
         app("TrueCaller", Communication, &["api4.truecaller.com"], MICRO),
         app("Reddit", Social, &["oauth.reddit.com", "i.redd.it"], BROWSE),
         app("Uber", TravelLocal, &["cn-geo1.uber.com"], MICRO),
-        app("Bank-App-2", Finance, &["wear.bank-two.com"],
-            profile!(PAYMENT, median_tx_bytes: 2_600.0, sigma_tx_bytes: 1.2)),
+        app(
+            "Bank-App-2",
+            Finance,
+            &["wear.bank-two.com"],
+            profile!(PAYMENT, median_tx_bytes: 2_600.0, sigma_tx_bytes: 1.2),
+        ),
         app("Nike-Running", Sports, &["api.nike.com"], SYNC),
-        app("Sweatcoin", Sports, &["api.sweatco.in"],
-            profile!(SYNC, usages_per_active_day: 2.0, median_tx_bytes: 3_000.0)),
-        app("Daily-Star", NewsMagazines, &["cdn.dailystar.example"], BROWSE),
+        app(
+            "Sweatcoin",
+            Sports,
+            &["api.sweatco.in"],
+            profile!(SYNC, usages_per_active_day: 2.0, median_tx_bytes: 3_000.0),
+        ),
+        app(
+            "Daily-Star",
+            NewsMagazines,
+            &["cdn.dailystar.example"],
+            BROWSE,
+        ),
         app("Badoo", Lifestyle, &["api.badoo.com"], BROWSE),
         app("Bank-App-3", Finance, &["app.bank-three.com"], PAYMENT),
         app("TV-Guide", Entertainment, &["epg.tv-guide.example"], NOTIFY),
@@ -347,11 +539,18 @@ mod tests {
     #[test]
     fn domains_unique_across_apps() {
         let cat = AppCatalog::standard();
-        let mut all: Vec<&str> = cat.iter().flat_map(|(_, a)| a.domains.iter().copied()).collect();
+        let mut all: Vec<&str> = cat
+            .iter()
+            .flat_map(|(_, a)| a.domains.iter().copied())
+            .collect();
         let before = all.len();
         all.sort_unstable();
         all.dedup();
-        assert_eq!(all.len(), before, "a first-party domain is shared by two apps");
+        assert_eq!(
+            all.len(),
+            before,
+            "a first-party domain is shared by two apps"
+        );
     }
 
     #[test]

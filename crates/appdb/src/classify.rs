@@ -111,10 +111,7 @@ impl SniClassifier {
             if label.is_empty() {
                 continue;
             }
-            node = node
-                .children
-                .entry(label.into())
-                .or_default();
+            node = node.children.entry(label.into()).or_default();
         }
         if node.leaf.replace(class).is_none() {
             self.num_signatures += 1;
@@ -255,7 +252,9 @@ mod tests {
             DomainClass::Advertising
         );
         assert_eq!(
-            clf.classify("ssl.google-analytics.com").unwrap().domain_class(),
+            clf.classify("ssl.google-analytics.com")
+                .unwrap()
+                .domain_class(),
             DomainClass::Analytics
         );
         assert_eq!(
@@ -269,7 +268,10 @@ mod tests {
     fn replacement_keeps_signature_count() {
         let mut clf = SniClassifier::third_party_only();
         let before = clf.num_signatures();
-        clf.insert("doubleclick.net", Classification::ThirdParty(DomainClass::Utilities));
+        clf.insert(
+            "doubleclick.net",
+            Classification::ThirdParty(DomainClass::Utilities),
+        );
         assert_eq!(clf.num_signatures(), before);
         assert_eq!(
             clf.classify("doubleclick.net").unwrap().domain_class(),

@@ -73,34 +73,112 @@ pub fn third_party_domains() -> &'static [ThirdPartyDomain] {
     use DomainClass::*;
     const DOMAINS: &[ThirdPartyDomain] = &[
         // --- Utilities: CDNs and generic asset hosts -------------------------
-        ThirdPartyDomain { domain: "akamaized.net", class: Utilities },
-        ThirdPartyDomain { domain: "akamaiedge.net", class: Utilities },
-        ThirdPartyDomain { domain: "cloudfront.net", class: Utilities },
-        ThirdPartyDomain { domain: "fastly.net", class: Utilities },
-        ThirdPartyDomain { domain: "gstatic.com", class: Utilities },
-        ThirdPartyDomain { domain: "googleusercontent.com", class: Utilities },
-        ThirdPartyDomain { domain: "cdn77.org", class: Utilities },
-        ThirdPartyDomain { domain: "edgecastcdn.net", class: Utilities },
-        ThirdPartyDomain { domain: "llnwd.net", class: Utilities },
-        ThirdPartyDomain { domain: "azureedge.net", class: Utilities },
+        ThirdPartyDomain {
+            domain: "akamaized.net",
+            class: Utilities,
+        },
+        ThirdPartyDomain {
+            domain: "akamaiedge.net",
+            class: Utilities,
+        },
+        ThirdPartyDomain {
+            domain: "cloudfront.net",
+            class: Utilities,
+        },
+        ThirdPartyDomain {
+            domain: "fastly.net",
+            class: Utilities,
+        },
+        ThirdPartyDomain {
+            domain: "gstatic.com",
+            class: Utilities,
+        },
+        ThirdPartyDomain {
+            domain: "googleusercontent.com",
+            class: Utilities,
+        },
+        ThirdPartyDomain {
+            domain: "cdn77.org",
+            class: Utilities,
+        },
+        ThirdPartyDomain {
+            domain: "edgecastcdn.net",
+            class: Utilities,
+        },
+        ThirdPartyDomain {
+            domain: "llnwd.net",
+            class: Utilities,
+        },
+        ThirdPartyDomain {
+            domain: "azureedge.net",
+            class: Utilities,
+        },
         // --- Advertising ------------------------------------------------------
-        ThirdPartyDomain { domain: "doubleclick.net", class: Advertising },
-        ThirdPartyDomain { domain: "googlesyndication.com", class: Advertising },
-        ThirdPartyDomain { domain: "adcolony.com", class: Advertising },
-        ThirdPartyDomain { domain: "mopub.com", class: Advertising },
-        ThirdPartyDomain { domain: "inmobi.com", class: Advertising },
-        ThirdPartyDomain { domain: "adnxs.com", class: Advertising },
-        ThirdPartyDomain { domain: "unityads.unity3d.com", class: Advertising },
-        ThirdPartyDomain { domain: "applovin.com", class: Advertising },
+        ThirdPartyDomain {
+            domain: "doubleclick.net",
+            class: Advertising,
+        },
+        ThirdPartyDomain {
+            domain: "googlesyndication.com",
+            class: Advertising,
+        },
+        ThirdPartyDomain {
+            domain: "adcolony.com",
+            class: Advertising,
+        },
+        ThirdPartyDomain {
+            domain: "mopub.com",
+            class: Advertising,
+        },
+        ThirdPartyDomain {
+            domain: "inmobi.com",
+            class: Advertising,
+        },
+        ThirdPartyDomain {
+            domain: "adnxs.com",
+            class: Advertising,
+        },
+        ThirdPartyDomain {
+            domain: "unityads.unity3d.com",
+            class: Advertising,
+        },
+        ThirdPartyDomain {
+            domain: "applovin.com",
+            class: Advertising,
+        },
         // --- Analytics --------------------------------------------------------
-        ThirdPartyDomain { domain: "google-analytics.com", class: Analytics },
-        ThirdPartyDomain { domain: "crashlytics.com", class: Analytics },
-        ThirdPartyDomain { domain: "flurry.com", class: Analytics },
-        ThirdPartyDomain { domain: "mixpanel.com", class: Analytics },
-        ThirdPartyDomain { domain: "segment.io", class: Analytics },
-        ThirdPartyDomain { domain: "appsflyer.com", class: Analytics },
-        ThirdPartyDomain { domain: "adjust.com", class: Analytics },
-        ThirdPartyDomain { domain: "branch.io", class: Analytics },
+        ThirdPartyDomain {
+            domain: "google-analytics.com",
+            class: Analytics,
+        },
+        ThirdPartyDomain {
+            domain: "crashlytics.com",
+            class: Analytics,
+        },
+        ThirdPartyDomain {
+            domain: "flurry.com",
+            class: Analytics,
+        },
+        ThirdPartyDomain {
+            domain: "mixpanel.com",
+            class: Analytics,
+        },
+        ThirdPartyDomain {
+            domain: "segment.io",
+            class: Analytics,
+        },
+        ThirdPartyDomain {
+            domain: "appsflyer.com",
+            class: Analytics,
+        },
+        ThirdPartyDomain {
+            domain: "adjust.com",
+            class: Analytics,
+        },
+        ThirdPartyDomain {
+            domain: "branch.io",
+            class: Analytics,
+        },
     ];
     DOMAINS
 }

@@ -61,7 +61,10 @@ pub const SIGNATURES: &[(&str, ThroughDeviceKind)] = &[
     ("band.xiaomi.com", ThroughDeviceKind::Xiaomi),
     // Companion-app wearable endpoints — generic attribution.
     ("wear.accuweather.com", ThroughDeviceKind::GenericAndroid),
-    ("wearable-gateway.strava.com", ThroughDeviceKind::GenericAndroid),
+    (
+        "wearable-gateway.strava.com",
+        ThroughDeviceKind::GenericAndroid,
+    ),
     ("watch.runtastic.com", ThroughDeviceKind::GenericAndroid),
     ("watch-api.accuweather.com", ThroughDeviceKind::GenericApple),
     ("applewatch.strava.com", ThroughDeviceKind::GenericApple),
@@ -141,7 +144,10 @@ mod tests {
     #[test]
     fn suffix_respects_label_boundary() {
         assert_eq!(fingerprint_host("notsync.fitbit.com"), None);
-        assert_eq!(fingerprint_host("x.sync.fitbit.com"), Some(ThroughDeviceKind::Fitbit));
+        assert_eq!(
+            fingerprint_host("x.sync.fitbit.com"),
+            Some(ThroughDeviceKind::Fitbit)
+        );
     }
 
     #[test]

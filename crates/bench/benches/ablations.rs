@@ -59,10 +59,20 @@ fn classifier_trie_vs_linear(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_classifier");
     group.throughput(Throughput::Elements(hosts.len() as u64));
     group.bench_function("trie", |b| {
-        b.iter(|| hosts.iter().filter(|h| trie.classify(black_box(h)).is_some()).count())
+        b.iter(|| {
+            hosts
+                .iter()
+                .filter(|h| trie.classify(black_box(h)).is_some())
+                .count()
+        })
     });
     group.bench_function("linear_scan", |b| {
-        b.iter(|| hosts.iter().filter(|h| linear(black_box(h)).is_some()).count())
+        b.iter(|| {
+            hosts
+                .iter()
+                .filter(|h| linear(black_box(h)).is_some())
+                .count()
+        })
     });
     group.finish();
 }

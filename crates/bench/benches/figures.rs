@@ -10,16 +10,16 @@ use wearscope_core::activity::{
     self, ActivityCorrelation, ActivitySpans, HourlyProfile, TransactionStats,
 };
 use wearscope_core::adoption::{AdoptionTrend, CohortRetention, DataActiveShare, RetentionCurves};
-use wearscope_core::devices::DeviceMix;
-use wearscope_core::quality::DataQualityReport;
-use wearscope_core::weekly::WeeklyPattern;
 use wearscope_core::apps::{AppPopularity, AppUsage, CategoryPopularity, InstallStats};
 use wearscope_core::compare::{self, OwnerVsRest, WearableShare};
+use wearscope_core::devices::DeviceMix;
 use wearscope_core::mobility::{Displacement, LocationEntropy, MobilityActivity, MobilityIndex};
+use wearscope_core::quality::DataQualityReport;
 use wearscope_core::sessions::{self, PerUsage};
 use wearscope_core::takeaways::Takeaways;
 use wearscope_core::thirdparty::DomainBreakdown;
 use wearscope_core::through_device::ThroughDeviceReport;
+use wearscope_core::weekly::WeeklyPattern;
 
 fn fig2_adoption(c: &mut Criterion) {
     let world = medium_world();

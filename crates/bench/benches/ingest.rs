@@ -1,0 +1,64 @@
+//! Parallel-ingest throughput: the sharded worker-pool engine vs the
+//! sequential fold, and the byte-range parallel file loader.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use wearscope_bench::{ctx, small_world};
+use wearscope_core::merge::CoreAggregates;
+use wearscope_ingest::{load_store_parallel, IngestEngine};
+
+fn worker_count_candidates() -> Vec<usize> {
+    let cpus = wearscope_ingest::default_workers();
+    let mut counts = vec![1, 2, cpus];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn engine_scaling(c: &mut Criterion) {
+    let world = small_world();
+    let study = ctx(world);
+    let records = (world.store.proxy().len() + world.store.mme().len()) as u64;
+
+    let mut group = c.benchmark_group("ingest-engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records));
+    group.bench_function("sequential", |b| {
+        b.iter(|| CoreAggregates::sequential(black_box(&study)))
+    });
+    for workers in worker_count_candidates() {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                let engine = IngestEngine::new(workers);
+                b.iter(|| engine.compute(black_box(&study)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn parallel_load(c: &mut Criterion) {
+    let world = small_world();
+    let records = (world.store.proxy().len() + world.store.mme().len()) as u64;
+    let dir = std::env::temp_dir().join(format!("wearscope-bench-load-{}", std::process::id()));
+    world.save(&dir).expect("saving bench world");
+
+    let mut group = c.benchmark_group("ingest-load");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records));
+    for workers in worker_count_candidates() {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| b.iter(|| load_store_parallel(black_box(&dir), workers).unwrap()),
+        );
+    }
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, engine_scaling, parallel_load);
+criterion_main!(benches);

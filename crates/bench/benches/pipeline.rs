@@ -67,8 +67,9 @@ fn codec_throughput(c: &mut Criterion) {
     group.bench_function("decode_proxy", |b| {
         b.iter(|| {
             LogReader::<_, ProxyRecord>::new(black_box(encoded.as_slice()))
-                .map(|r| r.unwrap())
-                .count()
+                .collect::<Result<Vec<_>, _>>()
+                .unwrap()
+                .len()
         })
     });
     // Binary archive codec, for comparison with the TSV interchange codec.

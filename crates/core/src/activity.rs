@@ -10,7 +10,7 @@ use crate::stats::{self, Ecdf};
 /// Per-user activity aggregate over the detailed window, the shared
 /// substrate of all Fig. 3 metrics. Built in one pass over the wearable
 /// proxy log.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct UserActivity {
     /// Distinct active days.
     pub days: HashSet<u64>,
@@ -52,16 +52,13 @@ impl UserActivity {
 }
 
 /// Folds the wearable proxy log into per-user activity aggregates.
+///
+/// Delegates to the mergeable [`crate::merge::ActivityPartial`] with a
+/// single implicit shard, so this sequential path and the parallel ingest
+/// engine run the same fold.
 pub fn user_activity(ctx: &StudyContext<'_>) -> HashMap<UserId, UserActivity> {
-    let mut map: HashMap<UserId, UserActivity> = HashMap::new();
-    for r in ctx.wearable_proxy() {
-        let agg = map.entry(r.user).or_default();
-        agg.days.insert(r.timestamp.day_index());
-        agg.hours.insert(r.timestamp.hour_index());
-        agg.transactions += 1;
-        agg.bytes += r.bytes_total();
-    }
-    map
+    use crate::merge::{fold, ActivityPartial, Mergeable};
+    fold::<ActivityPartial>(ctx, ctx.store.proxy()).finish(ctx)
 }
 
 /// One hour-of-day slot of the Fig. 3(a) profile.
@@ -78,7 +75,7 @@ pub struct HourStats {
 /// Fig. 3(a): hourly usage profiles, split weekday vs weekend. Each metric
 /// is normalized so that `5·Σweekday + 2·Σweekend = 1` — i.e. shares of the
 /// average week's total, matching the paper's normalization.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HourlyProfile {
     /// Average weekday profile.
     pub weekday: [HourStats; 24],
@@ -88,11 +85,23 @@ pub struct HourlyProfile {
 
 impl HourlyProfile {
     /// Computes the profile over the detailed window.
+    ///
+    /// Delegates to the mergeable [`crate::merge::HourlyProfilePartial`]
+    /// with a single implicit shard.
     pub fn compute(ctx: &StudyContext<'_>) -> HourlyProfile {
-        // (day type, hour) accumulators.
-        let mut users: Vec<HashSet<(u64, UserId)>> = vec![HashSet::new(); 48];
-        let mut tx = [0u64; 48];
-        let mut bytes = [0u64; 48];
+        use crate::merge::{fold, HourlyProfilePartial, Mergeable};
+        fold::<HourlyProfilePartial>(ctx, ctx.store.proxy()).finish(ctx)
+    }
+
+    /// The finish step: turns raw slot accumulators ((day type, hour) user
+    /// sets plus exact counters) into the normalized weekly profile. Shared
+    /// by the sequential path and the parallel engine's merged partial.
+    pub(crate) fn from_slots(
+        ctx: &StudyContext<'_>,
+        users: &[HashSet<(u64, UserId)>],
+        tx: &[u64; 48],
+        bytes: &[u64; 48],
+    ) -> HourlyProfile {
         let mut weekday_days: HashSet<u64> = HashSet::new();
         let mut weekend_days: HashSet<u64> = HashSet::new();
         let cal = ctx.window.calendar();
@@ -102,14 +111,6 @@ impl HourlyProfile {
             } else {
                 weekday_days.insert(d);
             }
-        }
-        for r in ctx.wearable_proxy() {
-            let day = r.timestamp.day_index();
-            let weekend = cal.day_is_weekend(day);
-            let slot = usize::from(r.timestamp.hour_of_day()) + if weekend { 24 } else { 0 };
-            users[slot].insert((day, r.user));
-            tx[slot] += 1;
-            bytes[slot] += r.bytes_total();
         }
 
         let n_wd = weekday_days.len().max(1) as f64;
@@ -129,7 +130,11 @@ impl HourlyProfile {
         let weekly = |xs: &[f64; 48]| -> f64 {
             5.0 * xs[..24].iter().sum::<f64>() + 2.0 * xs[24..].iter().sum::<f64>()
         };
-        let (uw, tw, bw) = (weekly(&u_avg).max(1e-12), weekly(&t_avg).max(1e-12), weekly(&b_avg).max(1e-12));
+        let (uw, tw, bw) = (
+            weekly(&u_avg).max(1e-12),
+            weekly(&t_avg).max(1e-12),
+            weekly(&b_avg).max(1e-12),
+        );
 
         let mut weekday = [HourStats::default(); 24];
         let mut weekend = [HourStats::default(); 24];
@@ -174,13 +179,23 @@ pub struct ActivitySpans {
 
 impl ActivitySpans {
     /// Computes the spans from per-user aggregates.
-    pub fn compute(ctx: &StudyContext<'_>, activity: &HashMap<UserId, UserActivity>) -> ActivitySpans {
+    pub fn compute(
+        ctx: &StudyContext<'_>,
+        activity: &HashMap<UserId, UserActivity>,
+    ) -> ActivitySpans {
         let weeks = ctx.detail_weeks();
         let days_per_week = Ecdf::from_samples(
-            activity.values().map(|a| a.days.len() as f64 / weeks).collect(),
+            activity
+                .values()
+                .map(|a| a.days.len() as f64 / weeks)
+                .collect(),
         );
-        let hours_per_day =
-            Ecdf::from_samples(activity.values().map(UserActivity::hours_per_active_day).collect());
+        let hours_per_day = Ecdf::from_samples(
+            activity
+                .values()
+                .map(UserActivity::hours_per_active_day)
+                .collect(),
+        );
         ActivitySpans {
             mean_days_per_week: days_per_week.mean(),
             mean_hours_per_day: hours_per_day.mean(),
@@ -193,7 +208,7 @@ impl ActivitySpans {
 }
 
 /// Fig. 3(c): transaction sizes and hourly per-user volume.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TransactionStats {
     /// Bytes per transaction.
     pub size: Ecdf,
@@ -209,17 +224,39 @@ pub struct TransactionStats {
 
 impl TransactionStats {
     /// Computes transaction statistics over the wearable proxy log.
-    pub fn compute(ctx: &StudyContext<'_>, activity: &HashMap<UserId, UserActivity>) -> TransactionStats {
-        let sizes: Vec<f64> = ctx.wearable_proxy().map(|r| r.bytes_total() as f64).collect();
+    pub fn compute(
+        ctx: &StudyContext<'_>,
+        activity: &HashMap<UserId, UserActivity>,
+    ) -> TransactionStats {
+        let sizes: Vec<f64> = ctx
+            .wearable_proxy()
+            .map(|r| r.bytes_total() as f64)
+            .collect();
+        TransactionStats::from_parts(sizes, activity)
+    }
+
+    /// The finish step: builds the distributions from raw transaction sizes
+    /// (any order — [`Ecdf`] sorts) and per-user aggregates. Shared with the
+    /// parallel engine's merged partial.
+    pub(crate) fn from_parts(
+        sizes: Vec<f64>,
+        activity: &HashMap<UserId, UserActivity>,
+    ) -> TransactionStats {
         let size = Ecdf::from_samples(sizes);
         TransactionStats {
             median_bytes: size.median(),
             frac_under_10kb: size.fraction_below(10_240.0),
             hourly_tx_per_user: Ecdf::from_samples(
-                activity.values().map(UserActivity::tx_per_active_hour).collect(),
+                activity
+                    .values()
+                    .map(UserActivity::tx_per_active_hour)
+                    .collect(),
             ),
             hourly_bytes_per_user: Ecdf::from_samples(
-                activity.values().map(UserActivity::bytes_per_active_hour).collect(),
+                activity
+                    .values()
+                    .map(UserActivity::bytes_per_active_hour)
+                    .collect(),
             ),
             size,
         }
@@ -265,8 +302,14 @@ pub fn daily_active_share(ctx: &StudyContext<'_>) -> f64 {
     let mut by_week: HashMap<u64, HashSet<UserId>> = HashMap::new();
     let mut by_day: HashMap<u64, HashSet<UserId>> = HashMap::new();
     for r in ctx.wearable_proxy() {
-        by_week.entry(r.timestamp.week_index()).or_default().insert(r.user);
-        by_day.entry(r.timestamp.day_index()).or_default().insert(r.user);
+        by_week
+            .entry(r.timestamp.week_index())
+            .or_default()
+            .insert(r.user);
+        by_day
+            .entry(r.timestamp.day_index())
+            .or_default()
+            .insert(r.user);
     }
     if by_week.is_empty() {
         return 0.0;
@@ -336,7 +379,12 @@ mod tests {
         let db = DeviceDb::standard();
         let recs = vec![
             wtx(&db, 1, SimTime::from_hours(10), 1000),
-            wtx(&db, 1, SimTime::from_hours(10) + SimDuration::from_minutes(5), 2000),
+            wtx(
+                &db,
+                1,
+                SimTime::from_hours(10) + SimDuration::from_minutes(5),
+                2000,
+            ),
             wtx(&db, 1, SimTime::from_hours(30), 3000), // day 1
         ];
         let f = fixture(recs);

@@ -30,10 +30,7 @@ impl AdoptionTrend {
     /// Computes the trend from the MME summary over `window.summary()`.
     pub fn compute(mme: &MmeSummary, window: &ObservationWindow) -> AdoptionTrend {
         let days: Vec<u64> = window.summary().days().collect();
-        let counts: Vec<f64> = days
-            .iter()
-            .map(|&d| mme.users_on_day(d) as f64)
-            .collect();
+        let counts: Vec<f64> = days.iter().map(|&d| mme.users_on_day(d) as f64).collect();
         let latest = counts.last().copied().unwrap_or(0.0).max(1.0);
         let daily_normalized = days
             .iter()
@@ -57,7 +54,11 @@ impl AdoptionTrend {
         let n = counts.len();
         let first = week_mean(0..7.min(n));
         let last = week_mean(n.saturating_sub(7)..n);
-        let total_growth = if first > 0.0 { (last - first) / first } else { 0.0 };
+        let total_growth = if first > 0.0 {
+            (last - first) / first
+        } else {
+            0.0
+        };
 
         AdoptionTrend {
             daily_normalized,
@@ -262,8 +263,7 @@ mod tests {
             let arrive = k * 10;
             regs.push((1000 + k, (arrive..60).collect()));
         }
-        let reg_refs: Vec<(u64, &[u64])> =
-            regs.iter().map(|(u, d)| (*u, d.as_slice())).collect();
+        let reg_refs: Vec<(u64, &[u64])> = regs.iter().map(|(u, d)| (*u, d.as_slice())).collect();
         let trend = AdoptionTrend::compute(&summary_from(&reg_refs), &window);
         assert!(trend.monthly_growth_rate > 0.0);
         assert!(trend.total_growth > 0.0);
@@ -277,8 +277,7 @@ mod tests {
     fn flat_series_has_zero_growth() {
         let window = ObservationWindow::new(30, 7, Calendar::PAPER);
         let regs: Vec<(u64, Vec<u64>)> = (0..50u64).map(|u| (u, (0..30).collect())).collect();
-        let reg_refs: Vec<(u64, &[u64])> =
-            regs.iter().map(|(u, d)| (*u, d.as_slice())).collect();
+        let reg_refs: Vec<(u64, &[u64])> = regs.iter().map(|(u, d)| (*u, d.as_slice())).collect();
         let trend = AdoptionTrend::compute(&summary_from(&reg_refs), &window);
         assert!(trend.monthly_growth_rate.abs() < 1e-9);
         assert!(trend.total_growth.abs() < 1e-9);
@@ -320,11 +319,7 @@ mod tests {
         // User 1: adopts week 0, present every week.
         // User 2: adopts week 0, gone from week 2 on.
         // User 3: adopts week 1, present through week 3.
-        let summary = summary_from(&[
-            (1, &[0, 7, 14, 21]),
-            (2, &[1, 8]),
-            (3, &[7, 14, 21]),
-        ]);
+        let summary = summary_from(&[(1, &[0, 7, 14, 21]), (2, &[1, 8]), (3, &[7, 14, 21])]);
         let r = RetentionCurves::compute(&summary, &window);
         assert_eq!(r.cohort_sizes, vec![2, 1, 0, 0]);
         // Week-0 cohort: k=0 → 1.0; k=1 → 1.0 (both present wk1);
@@ -358,8 +353,28 @@ mod tests {
         let mut proxy = TransparentProxy::new();
         // User 1 transacts; user 9 transacts but was never registered
         // (unknown subscriber — excluded by the join).
-        proxy.observe(SimTime::from_days(1), UserId(1), 1, "h", Scheme::Https, 10, 1, true, true);
-        proxy.observe(SimTime::from_days(2), UserId(9), 1, "h", Scheme::Https, 10, 1, true, true);
+        proxy.observe(
+            SimTime::from_days(1),
+            UserId(1),
+            1,
+            "h",
+            Scheme::Https,
+            10,
+            1,
+            true,
+            true,
+        );
+        proxy.observe(
+            SimTime::from_days(2),
+            UserId(9),
+            1,
+            "h",
+            Scheme::Https,
+            10,
+            1,
+            true,
+            true,
+        );
         let share = DataActiveShare::compute(&summary, proxy.wearable_summary(), &window);
         assert_eq!(share.registered, 3);
         assert_eq!(share.data_active, 1);

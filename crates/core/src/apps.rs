@@ -10,7 +10,7 @@ use crate::sessions::{AttributedTx, Session};
 use crate::stats::{self, Ecdf};
 
 /// Fig. 5(a): per-app popularity.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AppPopularity {
     /// Per app: average share of the day's distinct app-users associated
     /// with this app ("Average Daily-Associated-Users among All-Daily-Users",
@@ -37,7 +37,19 @@ impl AppPopularity {
             day_users.entry((app, day)).or_default().insert(tx.user);
             user_days.entry((app, tx.user)).or_default().insert(day);
         }
+        AppPopularity::from_index(day_users, user_days, apps)
+    }
 
+    /// The finish step: normalizes the raw association index into the
+    /// Fig. 5(a) shares. Shared by [`AppPopularity::compute`] and the
+    /// parallel engine's merged partial; all float reductions in here go
+    /// through [`stats::stable_sum`] or exact integer-valued sums, so the
+    /// map iteration order below cannot leak into the results.
+    pub(crate) fn from_index(
+        day_users: HashMap<(AppId, u64), HashSet<UserId>>,
+        user_days: HashMap<(AppId, UserId), HashSet<u64>>,
+        apps: HashSet<AppId>,
+    ) -> AppPopularity {
         // Average daily associated users per app.
         let mut assoc: HashMap<AppId, f64> = HashMap::new();
         let mut days_per_app: HashMap<AppId, usize> = HashMap::new();
@@ -207,8 +219,7 @@ impl InstallStats {
                 .or_default()
                 .insert(app);
         }
-        let apps_per_user =
-            Ecdf::from_samples(per_user.values().map(|s| s.len() as f64).collect());
+        let apps_per_user = Ecdf::from_samples(per_user.values().map(|s| s.len() as f64).collect());
         let single_days = per_user_day.values().filter(|s| s.len() == 1).count();
         InstallStats {
             mean_apps_per_user: apps_per_user.mean(),
@@ -254,9 +265,7 @@ mod tests {
         assert!((sum - 1.0).abs() < 1e-9);
         // App 0 (3 user-days) outranks app 1 (1 user-day).
         assert_eq!(pop.rank[0], AppId(0));
-        assert!(
-            pop.daily_associated_users[&AppId(0)] > pop.daily_associated_users[&AppId(1)]
-        );
+        assert!(pop.daily_associated_users[&AppId(0)] > pop.daily_associated_users[&AppId(1)]);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::context::StudyContext;
 use crate::stats::Ecdf;
 
 /// Per-user traffic totals over the detailed window.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct UserTraffic {
     /// Bytes over all devices.
     pub bytes_total: u64,
@@ -26,23 +26,18 @@ pub struct UserTraffic {
 }
 
 /// Folds the proxy log into per-user traffic totals.
+///
+/// Delegates to the mergeable [`crate::merge::TrafficPartial`] with a
+/// single implicit shard, so this sequential path and the parallel ingest
+/// engine run the same fold.
 pub fn user_traffic(ctx: &StudyContext<'_>) -> HashMap<UserId, UserTraffic> {
-    let mut map: HashMap<UserId, UserTraffic> = HashMap::new();
-    for r in ctx.store.proxy() {
-        let t = map.entry(r.user).or_default();
-        t.bytes_total += r.bytes_total();
-        t.tx_total += 1;
-        if ctx.is_wearable_record(r) {
-            t.bytes_wearable += r.bytes_total();
-            t.tx_wearable += 1;
-        }
-    }
-    map
+    use crate::merge::{fold, Mergeable, TrafficPartial};
+    fold::<TrafficPartial>(ctx, ctx.store.proxy()).finish(ctx)
 }
 
 /// Fig. 4(a) (plus the +26 % / +48 % takeaways): the distribution of
 /// per-user traffic for wearable owners vs the remaining customers.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OwnerVsRest {
     /// Per-user total bytes, owners.
     pub owner_bytes: Ecdf,
@@ -114,7 +109,10 @@ pub struct WearableShare {
 
 impl WearableShare {
     /// Computes the share over wearable owners with any traffic.
-    pub fn compute(ctx: &StudyContext<'_>, traffic: &HashMap<UserId, UserTraffic>) -> WearableShare {
+    pub fn compute(
+        ctx: &StudyContext<'_>,
+        traffic: &HashMap<UserId, UserTraffic>,
+    ) -> WearableShare {
         let ratios: Vec<f64> = traffic
             .iter()
             .filter(|(user, t)| ctx.owners().contains(user) && t.bytes_total > 0)
@@ -163,8 +161,12 @@ mod tests {
     fn owner_identified_and_ratios_computed() {
         let db = DeviceDb::standard();
         let w = db.example_imei(db.wearable_tacs()[0], 1).as_u64();
-        let p1 = db.example_imei(db.tacs_of_class(DeviceClass::Smartphone)[0], 1).as_u64();
-        let p2 = db.example_imei(db.tacs_of_class(DeviceClass::Smartphone)[0], 2).as_u64();
+        let p1 = db
+            .example_imei(db.tacs_of_class(DeviceClass::Smartphone)[0], 1)
+            .as_u64();
+        let p2 = db
+            .example_imei(db.tacs_of_class(DeviceClass::Smartphone)[0], 2)
+            .as_u64();
         // User 1 (owner): wearable 100 B + phone 10 000 B, 3 tx total.
         // User 2 (rest): phone 8 000 B, 2 tx.
         let records = vec![
@@ -175,7 +177,13 @@ mod tests {
             rec(2, p2, 5000, 50),
         ];
         let (store, db, sectors, catalog) = setup(records);
-        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, ObservationWindow::compact());
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::compact(),
+        );
         let traffic = user_traffic(&ctx);
         assert_eq!(traffic[&UserId(1)].bytes_total, 10_100);
         assert_eq!(traffic[&UserId(1)].bytes_wearable, 100);
@@ -210,7 +218,13 @@ mod tests {
             rec(2, p2, 5000, 4),
         ];
         let (store, db, sectors, catalog) = setup(records);
-        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, ObservationWindow::compact());
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::compact(),
+        );
         let traffic = user_traffic(&ctx);
         let share = WearableShare::compute(&ctx, &traffic);
         assert_eq!(share.ratio.len(), 2);
@@ -220,7 +234,13 @@ mod tests {
     #[test]
     fn empty_logs_no_panics() {
         let (store, db, sectors, catalog) = setup(vec![]);
-        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, ObservationWindow::compact());
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::compact(),
+        );
         let traffic = user_traffic(&ctx);
         let cmp = OwnerVsRest::compute(&ctx, &traffic);
         assert_eq!(cmp.bytes_ratio, 0.0);

@@ -47,9 +47,12 @@ impl<'a> StudyContext<'a> {
         let mut owners = HashSet::new();
         let mut all_users = HashSet::new();
         let mut classify = |imei: u64, user: UserId| {
-            let class = *class_by_imei
-                .entry(imei)
-                .or_insert_with(|| Imei::from_u64(imei).ok().and_then(|i| db.lookup(i)).map(|r| r.class));
+            let class = *class_by_imei.entry(imei).or_insert_with(|| {
+                Imei::from_u64(imei)
+                    .ok()
+                    .and_then(|i| db.lookup(i))
+                    .map(|r| r.class)
+            });
             all_users.insert(user);
             if class == Some(DeviceClass::CellularWearable) {
                 owners.insert(user);
@@ -162,8 +165,17 @@ mod tests {
                 sector: 0,
             }],
         );
-        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, ObservationWindow::compact());
-        assert_eq!(ctx.device_class(w_imei), Some(DeviceClass::CellularWearable));
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::compact(),
+        );
+        assert_eq!(
+            ctx.device_class(w_imei),
+            Some(DeviceClass::CellularWearable)
+        );
         assert_eq!(ctx.device_class(p_imei), Some(DeviceClass::Smartphone));
         assert_eq!(ctx.device_class(42), None);
         assert_eq!(ctx.all_users().len(), 3);
@@ -180,7 +192,13 @@ mod tests {
         let catalog = AppCatalog::standard();
         let sectors = SectorDirectory::new();
         let store = TraceStore::new();
-        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, ObservationWindow::compact());
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::compact(),
+        );
         assert!(ctx.owners().is_empty());
         assert!(ctx.all_users().is_empty());
         assert_eq!(ctx.wearable_proxy().count(), 0);

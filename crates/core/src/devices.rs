@@ -150,7 +150,13 @@ mod tests {
                 },
             ],
         );
-        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, ObservationWindow::compact());
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::compact(),
+        );
         let mix = DeviceMix::compute(&ctx);
         assert_eq!(mix.total_users, 3);
         let ranked = mix.ranked_models();
@@ -172,7 +178,13 @@ mod tests {
         let catalog = AppCatalog::standard();
         let sectors = SectorDirectory::new();
         let store = TraceStore::new();
-        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, ObservationWindow::compact());
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::compact(),
+        );
         let mix = DeviceMix::compute(&ctx);
         assert_eq!(mix.total_users, 0);
         assert_eq!(mix.manufacturer_share(&["Samsung"]), 0.0);

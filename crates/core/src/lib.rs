@@ -20,6 +20,7 @@
 //! | [`thirdparty`] | Fig. 8 domain classes |
 //! | [`through_device`] | Sec. 6 Through-Device fingerprinting |
 //! | [`takeaways`] | the headline scalars, gathered in one struct |
+//! | [`merge`] | mergeable partial aggregates — the parallel-ingest substrate |
 //! | [`quality`] | data-quality QA: coverage gaps, identification misses |
 //!
 //! The pipeline deliberately consumes **only** what the paper's authors had:
@@ -34,6 +35,7 @@ pub mod apps;
 pub mod compare;
 pub mod context;
 pub mod devices;
+pub mod merge;
 pub mod mobility;
 pub mod quality;
 pub mod sessions;
@@ -44,4 +46,5 @@ pub mod through_device;
 pub mod weekly;
 
 pub use context::StudyContext;
+pub use merge::{CoreAggregates, Mergeable};
 pub use stats::Ecdf;

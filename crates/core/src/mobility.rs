@@ -11,7 +11,7 @@ use crate::context::StudyContext;
 use crate::stats::{self, Ecdf};
 
 /// Per-user mobility aggregates derived from the MME log.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct UserMobility {
     /// Max displacement (km) per observed day.
     pub daily_max_displacement_km: Vec<f64>,
@@ -48,7 +48,7 @@ impl UserMobility {
 /// aggregates. Dwell times are accumulated between consecutive events of the
 /// same device; a detach closes the current dwell; a still-attached device
 /// is closed at the end of the detailed window.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MobilityIndex {
     /// Per-user aggregates.
     pub per_user: HashMap<UserId, UserMobility>,
@@ -56,56 +56,23 @@ pub struct MobilityIndex {
 
 impl MobilityIndex {
     /// Builds the index from the study context's MME log.
+    ///
+    /// Delegates to the mergeable [`crate::merge::MobilityPartial`] with a
+    /// single implicit shard, so this sequential path and the parallel
+    /// ingest engine run the same fold.
     pub fn build(ctx: &StudyContext<'_>) -> MobilityIndex {
-        // Per (user, imei): current attachment (sector, since).
-        let mut current: HashMap<(UserId, u64), (u32, SimTime)> = HashMap::new();
-        // Per (user, day): distinct sectors touched.
-        let mut day_sectors: HashMap<(UserId, u64), HashSet<u32>> = HashMap::new();
-        let mut per_user: HashMap<UserId, UserMobility> = HashMap::new();
+        use crate::merge::{fold, Mergeable, MobilityPartial};
+        fold::<MobilityPartial>(ctx, ctx.store.mme()).finish(ctx)
+    }
 
-        let close = |per_user: &mut HashMap<UserId, UserMobility>,
-                         user: UserId,
-                         sector: u32,
-                         since: SimTime,
-                         until: SimTime| {
-            let dwell = until.saturating_since(since).as_secs();
-            if dwell > 0 {
-                *per_user
-                    .entry(user)
-                    .or_default()
-                    .dwell_by_sector
-                    .entry(sector)
-                    .or_default() += dwell;
-            }
-        };
-
-        for r in ctx.store.mme() {
-            let key = (r.user, r.imei);
-            match r.event {
-                MmeEvent::Attach | MmeEvent::SectorUpdate => {
-                    if let Some((sector, since)) = current.insert(key, (r.sector, r.timestamp)) {
-                        close(&mut per_user, r.user, sector, since, r.timestamp);
-                    }
-                    day_sectors
-                        .entry((r.user, r.timestamp.day_index()))
-                        .or_default()
-                        .insert(r.sector);
-                }
-                MmeEvent::Detach => {
-                    if let Some((sector, since)) = current.remove(&key) {
-                        close(&mut per_user, r.user, sector, since, r.timestamp);
-                    }
-                }
-            }
-        }
-        // Close devices still attached at the end of the window.
-        let end = ctx.window.detailed().end();
-        for ((user, _), (sector, since)) in current {
-            close(&mut per_user, user, sector, since, end);
-        }
-
-        // Daily max displacement, filled in (user, day) order so per-user
-        // float reductions downstream are run-to-run stable.
+    /// The finish step shared with the parallel engine: dwell totals are
+    /// already merged; daily max displacement is filled in (user, day) order
+    /// so per-user float reductions downstream are run-to-run stable.
+    pub(crate) fn from_dwell_and_days(
+        ctx: &StudyContext<'_>,
+        mut per_user: HashMap<UserId, UserMobility>,
+        day_sectors: HashMap<(UserId, u64), HashSet<u32>>,
+    ) -> MobilityIndex {
         let mut days: Vec<((UserId, u64), HashSet<u32>)> = day_sectors.into_iter().collect();
         days.sort_by_key(|(key, _)| *key);
         for ((user, _day), sectors) in days {
@@ -147,9 +114,13 @@ pub struct Displacement {
 impl Displacement {
     /// Computes displacement statistics from the mobility index.
     pub fn compute(ctx: &StudyContext<'_>, index: &MobilityIndex) -> Displacement {
+        // Sorted by user id: the non-stationary means below sum these Vecs
+        // directly, so hash order would leak into the float reductions.
+        let mut entries: Vec<(&UserId, &UserMobility)> = index.per_user.iter().collect();
+        entries.sort_by_key(|(u, _)| **u);
         let mut owners = Vec::new();
         let mut rest = Vec::new();
-        for (user, m) in &index.per_user {
+        for (user, m) in entries {
             let v = m.mean_daily_displacement();
             if ctx.owners().contains(user) {
                 owners.push(v);
@@ -212,7 +183,11 @@ impl LocationEntropy {
         } else {
             0.0
         };
-        LocationEntropy { owners, rest, ratio }
+        LocationEntropy {
+            owners,
+            rest,
+            ratio,
+        }
     }
 }
 
@@ -256,7 +231,10 @@ impl MobilityActivity {
         let mut timeline: HashMap<(UserId, u64), Vec<(SimTime, u32)>> = HashMap::new();
         for r in ctx.store.mme() {
             if matches!(r.event, MmeEvent::Attach | MmeEvent::SectorUpdate) {
-                timeline.entry((r.user, r.imei)).or_default().push((r.timestamp, r.sector));
+                timeline
+                    .entry((r.user, r.imei))
+                    .or_default()
+                    .push((r.timestamp, r.sector));
             }
         }
         let mut tx_sectors: HashMap<UserId, HashSet<u32>> = HashMap::new();
@@ -351,7 +329,9 @@ mod tests {
     fn displacement_from_day_sectors() {
         let db = DeviceDb::standard();
         let w = db.example_imei(db.wearable_tacs()[0], 1).as_u64();
-        let p = db.example_imei(db.tacs_of_class(DeviceClass::Smartphone)[0], 2).as_u64();
+        let p = db
+            .example_imei(db.tacs_of_class(DeviceClass::Smartphone)[0], 2)
+            .as_u64();
         let h = 3600;
         let store = TraceStore::from_records(
             vec![],
@@ -373,7 +353,11 @@ mod tests {
         let disp = Displacement::compute(&ctx, &index);
         assert_eq!(disp.owners.len(), 1);
         assert_eq!(disp.rest.len(), 1);
-        assert!((disp.owner_mean_km - 11.1).abs() < 0.3, "{}", disp.owner_mean_km);
+        assert!(
+            (disp.owner_mean_km - 11.1).abs() < 0.3,
+            "{}",
+            disp.owner_mean_km
+        );
         assert_eq!(disp.rest_mean_km, 0.0);
         assert_eq!(disp.rest_nonstationary_mean_km, 0.0);
         assert!(disp.owner_nonstationary_mean_km > 10.0);
@@ -383,7 +367,9 @@ mod tests {
     fn entropy_time_weighted() {
         let db = DeviceDb::standard();
         let w = db.example_imei(db.wearable_tacs()[0], 1).as_u64();
-        let p = db.example_imei(db.tacs_of_class(DeviceClass::Smartphone)[0], 2).as_u64();
+        let p = db
+            .example_imei(db.tacs_of_class(DeviceClass::Smartphone)[0], 2)
+            .as_u64();
         let h = 3600;
         let store = TraceStore::from_records(
             vec![],
@@ -414,10 +400,7 @@ mod tests {
     fn attached_at_window_end_is_closed() {
         let db = DeviceDb::standard();
         let w = db.example_imei(db.wearable_tacs()[0], 1).as_u64();
-        let store = TraceStore::from_records(
-            vec![],
-            vec![mme(1, w, 0, MmeEvent::Attach, 0)],
-        );
+        let store = TraceStore::from_records(vec![], vec![mme(1, w, 0, MmeEvent::Attach, 0)]);
         let sectors = sectors();
         let catalog = AppCatalog::standard();
         let ctx = StudyContext::new(&store, &db, &sectors, &catalog, window());

@@ -185,7 +185,8 @@ mod tests {
         let sectors = SectorDirectory::new();
         // Window covers days 7..14 in detail; inject a record on day 2.
         let w = ObservationWindow::new(14, 7, Calendar::PAPER);
-        let mut proxy: Vec<ProxyRecord> = (7..14).map(|d| rec(&db, 1, d, "api.weather.com")).collect();
+        let mut proxy: Vec<ProxyRecord> =
+            (7..14).map(|d| rec(&db, 1, d, "api.weather.com")).collect();
         proxy.push(rec(&db, 1, 2, "api.weather.com"));
         let store = TraceStore::from_records(proxy, vec![]);
         let ctx = StudyContext::new(&store, &db, &sectors, &catalog, w);

@@ -57,9 +57,30 @@ pub struct Session {
 /// Third-party transactions inherit the app of the *temporally nearest*
 /// first-party transaction of the same user within ±[`SESSION_GAP_SECS`].
 pub fn attribute_transactions(ctx: &StudyContext<'_>) -> Vec<AttributedTx> {
-    // Group wearable records per user, keeping log order (time-sorted).
-    let mut per_user: HashMap<UserId, Vec<(SimTime, Option<AppId>, bool, u64)>> = HashMap::new();
-    for r in ctx.wearable_proxy() {
+    attribute_records(ctx, ctx.store.proxy())
+}
+
+/// [`attribute_transactions`] over an explicit slice of proxy records — the
+/// per-shard entry point of the parallel ingest engine. Non-wearable
+/// records are skipped, so passing the whole log is equivalent to the
+/// sequential path.
+///
+/// Attribution is user-local (anchors never cross users), so any sharding
+/// that keeps each user's records together and in log order yields shard
+/// outputs whose concatenation, re-sorted by `(user, timestamp)`, is
+/// identical to the sequential result.
+pub fn attribute_records<'r>(
+    ctx: &StudyContext<'_>,
+    records: impl IntoIterator<Item = &'r wearscope_trace::ProxyRecord>,
+) -> Vec<AttributedTx> {
+    // Group wearable records per user, keeping log order (time-sorted):
+    // (timestamp, classified app, first-party?, bytes).
+    type RawTx = (SimTime, Option<AppId>, bool, u64);
+    let mut per_user: HashMap<UserId, Vec<RawTx>> = HashMap::new();
+    for r in records {
+        if !ctx.is_wearable_record(r) {
+            continue;
+        }
         let class = ctx.classifier.classify(&r.host);
         let (app, first_party) = match class {
             Some(Classification::FirstParty(a)) => (Some(a), true),
@@ -80,11 +101,7 @@ pub fn attribute_transactions(ctx: &StudyContext<'_>) -> Vec<AttributedTx> {
             .filter_map(|&(t, app, fp, _)| if fp { app.map(|a| (t, a)) } else { None })
             .collect();
         for (t, app, fp, bytes) in txs {
-            let attributed = if fp {
-                app
-            } else {
-                nearest_anchor(&anchors, t)
-            };
+            let attributed = if fp { app } else { nearest_anchor(&anchors, t) };
             out.push(AttributedTx {
                 user,
                 timestamp: t,
@@ -107,8 +124,12 @@ fn nearest_anchor(anchors: &[(SimTime, AppId)], t: SimTime) -> Option<AppId> {
     let mut best: Option<(u64, AppId)> = None;
     for cand in [idx.checked_sub(1), Some(idx)].into_iter().flatten() {
         if let Some(&(at, app)) = anchors.get(cand) {
-            let gap = if at <= t { (t - at).as_secs() } else { (at - t).as_secs() };
-            if gap <= SESSION_GAP_SECS && best.map_or(true, |(bg, _)| gap < bg) {
+            let gap = if at <= t {
+                (t - at).as_secs()
+            } else {
+                (at - t).as_secs()
+            };
+            if gap <= SESSION_GAP_SECS && best.is_none_or(|(bg, _)| gap < bg) {
                 best = Some((gap, app));
             }
         }
@@ -130,7 +151,10 @@ pub fn sessionize_with_gap(attributed: &[AttributedTx], gap_secs: u64) -> Vec<Se
     let mut groups: HashMap<(UserId, AppId), Vec<(SimTime, u64)>> = HashMap::new();
     for tx in attributed {
         if let Some(app) = tx.app {
-            groups.entry((tx.user, app)).or_default().push((tx.timestamp, tx.bytes));
+            groups
+                .entry((tx.user, app))
+                .or_default()
+                .push((tx.timestamp, tx.bytes));
         }
     }
     let mut out = Vec::new();
@@ -163,7 +187,9 @@ pub fn sessionize_with_gap(attributed: &[AttributedTx], gap_secs: u64) -> Vec<Se
             out.push(done);
         }
     }
-    out.sort_by_key(|s| (s.user, s.start));
+    // The app in the key breaks (user, start) ties: two apps starting a
+    // session at the same instant would otherwise land in hash order.
+    out.sort_by_key(|s| (s.user, s.start, s.app));
     out
 }
 
@@ -242,10 +268,8 @@ mod tests {
         let db = DeviceDb::standard();
         let catalog = AppCatalog::standard();
         let weather = catalog.by_name("Weather").unwrap().0;
-        let store = TraceStore::from_records(
-            vec![rec(&db, 1, 100, "api.weather.com", 1000)],
-            vec![],
-        );
+        let store =
+            TraceStore::from_records(vec![rec(&db, 1, 100, "api.weather.com", 1000)], vec![]);
         let sectors = SectorDirectory::new();
         let ctx = ctx_with(&store, &db, &sectors, &catalog);
         let attributed = attribute_transactions(&ctx);

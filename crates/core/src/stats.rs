@@ -11,7 +11,7 @@
 /// assert_eq!(e.quantile(0.5), 2.0);
 /// assert_eq!(e.len(), 4);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }
@@ -234,7 +234,11 @@ pub fn bootstrap_mean_ci(samples: &[f64], resamples: usize, confidence: f64, see
         samples.iter().sum::<f64>() / n as f64
     };
     if n < 2 || resamples == 0 {
-        return MeanCi { mean, lo: mean, hi: mean };
+        return MeanCi {
+            mean,
+            lo: mean,
+            hi: mean,
+        };
     }
     let mut state = seed | 1;
     let mut next = || {

@@ -6,14 +6,14 @@
 
 use wearscope_mobilenet::NetworkSummaries;
 
-use crate::activity::{self, ActivityCorrelation, ActivitySpans, TransactionStats};
+use crate::activity::{self, ActivityCorrelation, ActivitySpans};
 use crate::adoption::{AdoptionTrend, CohortRetention, DataActiveShare};
 use crate::apps::InstallStats;
-use crate::compare::{self, OwnerVsRest, WearableShare};
+use crate::compare::{OwnerVsRest, WearableShare};
 use crate::context::StudyContext;
-use crate::mobility::{Displacement, LocationEntropy, MobilityActivity, MobilityIndex};
-use crate::sessions;
 use crate::devices::DeviceMix;
+use crate::merge::CoreAggregates;
+use crate::mobility::{Displacement, LocationEntropy, MobilityActivity};
 use crate::thirdparty::DomainBreakdown;
 use crate::through_device::ThroughDeviceReport;
 use crate::weekly::WeeklyPattern;
@@ -90,33 +90,44 @@ pub struct Takeaways {
 }
 
 impl Takeaways {
-    /// Runs the full pipeline.
+    /// Runs the full pipeline, computing every aggregate sequentially.
     pub fn compute(ctx: &StudyContext<'_>, summaries: &NetworkSummaries) -> Takeaways {
+        Takeaways::compute_with(ctx, summaries, &CoreAggregates::sequential(ctx))
+    }
+
+    /// Extracts the takeaways from pre-computed hot aggregates — the entry
+    /// point used by the parallel ingest engine (`wearscope-ingest`), which
+    /// produces an identical [`CoreAggregates`] via sharded mergeable folds.
+    pub fn compute_with(
+        ctx: &StudyContext<'_>,
+        summaries: &NetworkSummaries,
+        aggs: &CoreAggregates,
+    ) -> Takeaways {
         let trend = AdoptionTrend::compute(&summaries.mme, &ctx.window);
         let retention = CohortRetention::compute(&summaries.mme, &ctx.window);
         let data_active =
             DataActiveShare::compute(&summaries.mme, &summaries.wearable_traffic, &ctx.window);
 
-        let activity_map = activity::user_activity(ctx);
-        let spans = ActivitySpans::compute(ctx, &activity_map);
-        let tx_stats = TransactionStats::compute(ctx, &activity_map);
-        let corr = ActivityCorrelation::compute(&activity_map);
+        let activity_map = &aggs.activity;
+        let spans = ActivitySpans::compute(ctx, activity_map);
+        let tx_stats = &aggs.tx_stats;
+        let corr = ActivityCorrelation::compute(activity_map);
         let daily_share = activity::daily_active_share(ctx);
 
-        let traffic = compare::user_traffic(ctx);
-        let owner_vs_rest = OwnerVsRest::compute(ctx, &traffic);
-        let wearable_share = WearableShare::compute(ctx, &traffic);
+        let traffic = &aggs.traffic;
+        let owner_vs_rest = OwnerVsRest::compute(ctx, traffic);
+        let wearable_share = WearableShare::compute(ctx, traffic);
 
-        let mobility = MobilityIndex::build(ctx);
-        let displacement = Displacement::compute(ctx, &mobility);
-        let entropy = LocationEntropy::compute(ctx, &mobility);
-        let mob_act = MobilityActivity::compute(ctx, &mobility, &activity_map);
+        let mobility = &aggs.mobility;
+        let displacement = Displacement::compute(ctx, mobility);
+        let entropy = LocationEntropy::compute(ctx, mobility);
+        let mob_act = MobilityActivity::compute(ctx, mobility, activity_map);
 
-        let attributed = sessions::attribute_transactions(ctx);
-        let installs = InstallStats::compute(&attributed);
+        let attributed = &aggs.attributed;
+        let installs = InstallStats::compute(attributed);
         let breakdown = DomainBreakdown::compute(ctx);
 
-        let through = ThroughDeviceReport::compute(ctx, &mobility);
+        let through = ThroughDeviceReport::compute(ctx, mobility);
         let weekly = WeeklyPattern::compute(ctx);
         let devices = DeviceMix::compute(ctx);
 
@@ -171,7 +182,13 @@ mod tests {
         let catalog = AppCatalog::standard();
         let sectors = SectorDirectory::new();
         let store = TraceStore::new();
-        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, ObservationWindow::compact());
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::compact(),
+        );
         let t = Takeaways::compute(&ctx, &NetworkSummaries::default());
         assert_eq!(t.data_active_share, 0.0);
         assert_eq!(t.median_tx_bytes, 0.0);

@@ -146,11 +146,11 @@ mod tests {
         let sectors = SectorDirectory::new();
         let store = TraceStore::from_records(
             vec![
-                rec(&db, 1, 10, "api.weather.com", 6000),          // Application
-                rec(&db, 1, 20, "media.akamaized.net", 2000),      // Utilities
-                rec(&db, 1, 30, "ads.doubleclick.net", 1000),      // Advertising
+                rec(&db, 1, 10, "api.weather.com", 6000),     // Application
+                rec(&db, 1, 20, "media.akamaized.net", 2000), // Utilities
+                rec(&db, 1, 30, "ads.doubleclick.net", 1000), // Advertising
                 rec(&db, 2, 40, "ssl.google-analytics.com", 1000), // Analytics
-                rec(&db, 2, 50, "unknown.nowhere.example", 500),   // unclassified
+                rec(&db, 2, 50, "unknown.nowhere.example", 500), // unclassified
             ],
             vec![],
         );
@@ -170,10 +170,7 @@ mod tests {
         assert!((b.data[3] - 0.1).abs() < 1e-9);
         // Third-party (0.2) within one order of magnitude of first (0.6).
         assert!(b.thirdparty_within_order_of_magnitude());
-        assert_eq!(
-            b.metric(&b.data, DomainClass::Application),
-            b.data[0]
-        );
+        assert_eq!(b.metric(&b.data, DomainClass::Application), b.data[0]);
     }
 
     #[test]

@@ -106,8 +106,16 @@ impl WeeklyPattern {
         // share (Sat=5, Sun=6 in Monday-first indexing).
         let weekend_w = wearable_share[5] + wearable_share[6];
         let weekend_t = (total_share[5] + total_share[6]).max(1e-12);
-        let evening_w = if wearable_all > 0.0 { wearable_evening / wearable_all } else { 0.0 };
-        let evening_t = if total_all > 0.0 { total_evening / total_all } else { 1e-12 };
+        let evening_w = if wearable_all > 0.0 {
+            wearable_evening / wearable_all
+        } else {
+            0.0
+        };
+        let evening_t = if total_all > 0.0 {
+            total_evening / total_all
+        } else {
+            1e-12
+        };
 
         WeeklyPattern {
             wearable_tx_by_weekday: wearable_share,
@@ -162,7 +170,9 @@ mod tests {
         let catalog = AppCatalog::standard();
         let sectors = SectorDirectory::new();
         let w = db.example_imei(db.wearable_tacs()[0], 1).as_u64();
-        let p = db.example_imei(db.tacs_of_class(DeviceClass::Smartphone)[0], 2).as_u64();
+        let p = db
+            .example_imei(db.tacs_of_class(DeviceClass::Smartphone)[0], 2)
+            .as_u64();
         // Window day0 = Friday; day1/day2 are the weekend.
         // Wearable: 2 weekday tx, 4 weekend tx. Phone: 8 weekday, 2 weekend.
         let mut records = Vec::new();
@@ -186,7 +196,11 @@ mod tests {
         );
         let p = WeeklyPattern::compute(&ctx);
         // Wearable weekend share: 4/6; total weekend share: 6/16.
-        assert!(p.weekend_relative_usage > 1.0, "{}", p.weekend_relative_usage);
+        assert!(
+            p.weekend_relative_usage > 1.0,
+            "{}",
+            p.weekend_relative_usage
+        );
         let sum: f64 = p.wearable_tx_by_weekday.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
         let sum: f64 = p.total_tx_by_weekday.iter().sum();
@@ -225,7 +239,13 @@ mod tests {
         let catalog = AppCatalog::standard();
         let sectors = SectorDirectory::new();
         let store = TraceStore::new();
-        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, ObservationWindow::compact());
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::compact(),
+        );
         let p = WeeklyPattern::compute(&ctx);
         assert_eq!(p.weekday_cv(), 0.0);
         assert!(p.daily_user_share.iter().all(|&s| s == 0.0));

@@ -11,8 +11,8 @@ use wearscope_trace::UserId;
 fn arb_attributed() -> impl Strategy<Value = Vec<AttributedTx>> {
     prop::collection::vec(
         (
-            0u64..5,          // user
-            0u64..200_000,    // time
+            0u64..5,                   // user
+            0u64..200_000,             // time
             prop::option::of(0u16..6), // app
             any::<bool>(),
             1u64..100_000, // bytes

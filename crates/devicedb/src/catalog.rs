@@ -101,31 +101,163 @@ pub fn standard_catalog() -> Vec<DeviceModel> {
     use DeviceOs::*;
     vec![
         // --- SIM-enabled (cellular) wearables -------------------------------
-        DeviceModel { name: "Gear S2 Classic 3G", manufacturer: "Samsung", os: Tizen, class: CellularWearable, market_share: 0.18 },
-        DeviceModel { name: "Gear S3 Frontier LTE", manufacturer: "Samsung", os: Tizen, class: CellularWearable, market_share: 0.34 },
-        DeviceModel { name: "Gear S 3G", manufacturer: "Samsung", os: Tizen, class: CellularWearable, market_share: 0.08 },
-        DeviceModel { name: "Watch Urbane 2nd Edition LTE", manufacturer: "LG", os: AndroidWear, class: CellularWearable, market_share: 0.22 },
-        DeviceModel { name: "Watch Sport LTE", manufacturer: "LG", os: AndroidWear, class: CellularWearable, market_share: 0.10 },
-        DeviceModel { name: "Huawei Watch 2 4G", manufacturer: "Huawei", os: AndroidWear, class: CellularWearable, market_share: 0.08 },
+        DeviceModel {
+            name: "Gear S2 Classic 3G",
+            manufacturer: "Samsung",
+            os: Tizen,
+            class: CellularWearable,
+            market_share: 0.18,
+        },
+        DeviceModel {
+            name: "Gear S3 Frontier LTE",
+            manufacturer: "Samsung",
+            os: Tizen,
+            class: CellularWearable,
+            market_share: 0.34,
+        },
+        DeviceModel {
+            name: "Gear S 3G",
+            manufacturer: "Samsung",
+            os: Tizen,
+            class: CellularWearable,
+            market_share: 0.08,
+        },
+        DeviceModel {
+            name: "Watch Urbane 2nd Edition LTE",
+            manufacturer: "LG",
+            os: AndroidWear,
+            class: CellularWearable,
+            market_share: 0.22,
+        },
+        DeviceModel {
+            name: "Watch Sport LTE",
+            manufacturer: "LG",
+            os: AndroidWear,
+            class: CellularWearable,
+            market_share: 0.10,
+        },
+        DeviceModel {
+            name: "Huawei Watch 2 4G",
+            manufacturer: "Huawei",
+            os: AndroidWear,
+            class: CellularWearable,
+            market_share: 0.08,
+        },
         // --- Through-device wearables (no SIM; relayed via phone) -----------
-        DeviceModel { name: "Fitbit Charge 2", manufacturer: "Fitbit", os: Rtos, class: ThroughDeviceWearable, market_share: 0.30 },
-        DeviceModel { name: "Mi Band 2", manufacturer: "Xiaomi", os: Rtos, class: ThroughDeviceWearable, market_share: 0.28 },
-        DeviceModel { name: "Gear S3 Bluetooth", manufacturer: "Samsung", os: Tizen, class: ThroughDeviceWearable, market_share: 0.18 },
-        DeviceModel { name: "Apple Watch Series 2", manufacturer: "Apple", os: WatchOs, class: ThroughDeviceWearable, market_share: 0.24 },
+        DeviceModel {
+            name: "Fitbit Charge 2",
+            manufacturer: "Fitbit",
+            os: Rtos,
+            class: ThroughDeviceWearable,
+            market_share: 0.30,
+        },
+        DeviceModel {
+            name: "Mi Band 2",
+            manufacturer: "Xiaomi",
+            os: Rtos,
+            class: ThroughDeviceWearable,
+            market_share: 0.28,
+        },
+        DeviceModel {
+            name: "Gear S3 Bluetooth",
+            manufacturer: "Samsung",
+            os: Tizen,
+            class: ThroughDeviceWearable,
+            market_share: 0.18,
+        },
+        DeviceModel {
+            name: "Apple Watch Series 2",
+            manufacturer: "Apple",
+            os: WatchOs,
+            class: ThroughDeviceWearable,
+            market_share: 0.24,
+        },
         // --- Smartphones (the "remaining customers" population) -------------
-        DeviceModel { name: "Galaxy S8", manufacturer: "Samsung", os: Android, class: Smartphone, market_share: 0.16 },
-        DeviceModel { name: "Galaxy S7", manufacturer: "Samsung", os: Android, class: Smartphone, market_share: 0.14 },
-        DeviceModel { name: "Galaxy J5", manufacturer: "Samsung", os: Android, class: Smartphone, market_share: 0.12 },
-        DeviceModel { name: "iPhone 7", manufacturer: "Apple", os: Ios, class: Smartphone, market_share: 0.15 },
-        DeviceModel { name: "iPhone 6s", manufacturer: "Apple", os: Ios, class: Smartphone, market_share: 0.11 },
-        DeviceModel { name: "P10 Lite", manufacturer: "Huawei", os: Android, class: Smartphone, market_share: 0.10 },
-        DeviceModel { name: "Moto G5", manufacturer: "Motorola", os: Android, class: Smartphone, market_share: 0.08 },
-        DeviceModel { name: "Xperia XA1", manufacturer: "Sony", os: Android, class: Smartphone, market_share: 0.06 },
-        DeviceModel { name: "Redmi Note 4", manufacturer: "Xiaomi", os: Android, class: Smartphone, market_share: 0.08 },
+        DeviceModel {
+            name: "Galaxy S8",
+            manufacturer: "Samsung",
+            os: Android,
+            class: Smartphone,
+            market_share: 0.16,
+        },
+        DeviceModel {
+            name: "Galaxy S7",
+            manufacturer: "Samsung",
+            os: Android,
+            class: Smartphone,
+            market_share: 0.14,
+        },
+        DeviceModel {
+            name: "Galaxy J5",
+            manufacturer: "Samsung",
+            os: Android,
+            class: Smartphone,
+            market_share: 0.12,
+        },
+        DeviceModel {
+            name: "iPhone 7",
+            manufacturer: "Apple",
+            os: Ios,
+            class: Smartphone,
+            market_share: 0.15,
+        },
+        DeviceModel {
+            name: "iPhone 6s",
+            manufacturer: "Apple",
+            os: Ios,
+            class: Smartphone,
+            market_share: 0.11,
+        },
+        DeviceModel {
+            name: "P10 Lite",
+            manufacturer: "Huawei",
+            os: Android,
+            class: Smartphone,
+            market_share: 0.10,
+        },
+        DeviceModel {
+            name: "Moto G5",
+            manufacturer: "Motorola",
+            os: Android,
+            class: Smartphone,
+            market_share: 0.08,
+        },
+        DeviceModel {
+            name: "Xperia XA1",
+            manufacturer: "Sony",
+            os: Android,
+            class: Smartphone,
+            market_share: 0.06,
+        },
+        DeviceModel {
+            name: "Redmi Note 4",
+            manufacturer: "Xiaomi",
+            os: Android,
+            class: Smartphone,
+            market_share: 0.08,
+        },
         // --- Other SIM device classes present in a real network --------------
-        DeviceModel { name: "Galaxy Tab A LTE", manufacturer: "Samsung", os: Android, class: Tablet, market_share: 0.6 },
-        DeviceModel { name: "iPad Air 2 Cellular", manufacturer: "Apple", os: Ios, class: Tablet, market_share: 0.4 },
-        DeviceModel { name: "Telemetry Module TM-200", manufacturer: "Telit", os: Rtos, class: M2m, market_share: 1.0 },
+        DeviceModel {
+            name: "Galaxy Tab A LTE",
+            manufacturer: "Samsung",
+            os: Android,
+            class: Tablet,
+            market_share: 0.6,
+        },
+        DeviceModel {
+            name: "iPad Air 2 Cellular",
+            manufacturer: "Apple",
+            os: Ios,
+            class: Tablet,
+            market_share: 0.4,
+        },
+        DeviceModel {
+            name: "Telemetry Module TM-200",
+            manufacturer: "Telit",
+            os: Rtos,
+            class: M2m,
+            market_share: 1.0,
+        },
     ]
 }
 
@@ -178,7 +310,10 @@ mod tests {
             .filter(|m| m.class == DeviceClass::CellularWearable)
             .map(|m| m.market_share)
             .sum();
-        assert!((s - 1.0).abs() < 1e-9, "cellular wearable shares sum to {s}");
+        assert!(
+            (s - 1.0).abs() < 1e-9,
+            "cellular wearable shares sum to {s}"
+        );
         let s: f64 = cat
             .iter()
             .filter(|m| m.class == DeviceClass::ThroughDeviceWearable)

@@ -138,7 +138,11 @@ impl DeviceDb {
 
     /// Picks a model of `class` with probability proportional to market
     /// share; `None` if the class has no models.
-    pub fn sample_model<R: Rng + ?Sized>(&self, rng: &mut R, class: DeviceClass) -> Option<ModelId> {
+    pub fn sample_model<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        class: DeviceClass,
+    ) -> Option<ModelId> {
         let candidates: Vec<(usize, f64)> = self
             .models
             .iter()

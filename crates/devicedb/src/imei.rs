@@ -239,10 +239,7 @@ mod tests {
     #[test]
     fn parse_rejects_malformed() {
         assert_eq!("123".parse::<Imei>(), Err(ImeiError::Malformed));
-        assert_eq!(
-            "49015420323751x".parse::<Imei>(),
-            Err(ImeiError::Malformed)
-        );
+        assert_eq!("49015420323751x".parse::<Imei>(), Err(ImeiError::Malformed));
         assert_eq!(
             "4901542032375189".parse::<Imei>(),
             Err(ImeiError::Malformed)

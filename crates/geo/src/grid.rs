@@ -130,7 +130,7 @@ impl SectorGrid {
                     }
                     for &(id, loc) in &self.buckets[r as usize * self.cols + c as usize] {
                         let d = p.distance_km(loc);
-                        if best.map_or(true, |(_, bd)| d < bd) {
+                        if best.is_none_or(|(_, bd)| d < bd) {
                             best = Some((id, d));
                         }
                     }
@@ -195,7 +195,9 @@ mod tests {
         let mut pts = Vec::new();
         let mut x: u64 = 0x1234_5678;
         let mut next = || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) as f64 / (1u64 << 31) as f64
         };
         for _ in 0..200 {

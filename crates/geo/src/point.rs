@@ -60,8 +60,8 @@ impl GeoPoint {
         let phi2 = other.lat_deg.to_radians();
         let dphi = (other.lat_deg - self.lat_deg).to_radians();
         let dlambda = (other.lon_deg - self.lon_deg).to_radians();
-        let a = (dphi / 2.0).sin().powi(2)
-            + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
+        let a =
+            (dphi / 2.0).sin().powi(2) + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * a.sqrt().min(1.0).asin()
     }
 

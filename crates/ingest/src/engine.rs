@@ -1,0 +1,316 @@
+//! The worker-pool engine: sharded fold → ordered merge → single finish.
+//!
+//! Workers are scoped threads competing for shard indices on a bounded
+//! MPMC channel (a work queue: a worker that draws a heavy shard simply
+//! draws fewer shards). Each worker folds every partial aggregate over its
+//! shard in one pass; the main thread merges partials in ascending shard
+//! index and runs the single-threaded finish step. Determinism therefore
+//! does not depend on scheduling: thread interleaving only changes *who*
+//! folds a shard, never the shard contents, the merge order, or any float
+//! reduction (all deferred to finish — see `wearscope_core::merge`).
+
+use std::time::Instant;
+
+use crossbeam::{channel, thread};
+
+use wearscope_core::merge::{
+    ActivityPartial, AppPopularityPartial, HourlyProfilePartial, Mergeable, MobilityPartial,
+    TrafficPartial, TransactionStatsPartial,
+};
+use wearscope_core::sessions::{attribute_records, AttributedTx};
+use wearscope_core::{CoreAggregates, StudyContext};
+use wearscope_report::{IngestReport, ShardProgress, ShardSource};
+use wearscope_trace::{MmeRecord, ProxyRecord};
+
+use crate::sharder::shard_store;
+
+/// Shards per worker: enough queue granularity that work stealing evens
+/// out skewed shards, without drowning the progress report.
+pub(crate) const SHARDS_PER_WORKER: usize = 4;
+
+/// One shard's partial aggregates — everything a worker folds in a single
+/// pass over its user set.
+struct ShardAggregates {
+    activity: ActivityPartial,
+    hourly: HourlyProfilePartial,
+    tx_stats: TransactionStatsPartial,
+    traffic: TrafficPartial,
+    mobility: MobilityPartial,
+    attributed: Vec<AttributedTx>,
+    popularity: AppPopularityPartial,
+}
+
+impl ShardAggregates {
+    fn identity() -> ShardAggregates {
+        ShardAggregates {
+            activity: ActivityPartial::identity(),
+            hourly: HourlyProfilePartial::identity(),
+            tx_stats: TransactionStatsPartial::identity(),
+            traffic: TrafficPartial::identity(),
+            mobility: MobilityPartial::identity(),
+            attributed: Vec::new(),
+            popularity: AppPopularityPartial::identity(),
+        }
+    }
+
+    /// The worker body: folds one user-disjoint shard.
+    fn fold(ctx: &StudyContext<'_>, proxy: &[&ProxyRecord], mme: &[&MmeRecord]) -> ShardAggregates {
+        let mut agg = ShardAggregates::identity();
+        for &r in proxy {
+            agg.activity.absorb(ctx, r);
+            agg.hourly.absorb(ctx, r);
+            agg.tx_stats.absorb(ctx, r);
+            agg.traffic.absorb(ctx, r);
+        }
+        for &r in mme {
+            agg.mobility.absorb(ctx, r);
+        }
+        // Attribution is user-local and this shard holds whole users, so
+        // the shard result equals the sequential result restricted to them.
+        agg.attributed = attribute_records(ctx, proxy.iter().copied());
+        for tx in &agg.attributed {
+            agg.popularity.absorb(ctx, tx);
+        }
+        agg
+    }
+
+    fn merge(&mut self, other: ShardAggregates) {
+        self.activity.merge(other.activity);
+        self.hourly.merge(other.hourly);
+        self.tx_stats.merge(other.tx_stats);
+        self.traffic.merge(other.traffic);
+        self.mobility.merge(other.mobility);
+        self.attributed.extend(other.attributed);
+        self.popularity.merge(other.popularity);
+    }
+
+    fn finish(self, ctx: &StudyContext<'_>) -> CoreAggregates {
+        let mut attributed = self.attributed;
+        // Same final order as the sequential path: shards are user-disjoint
+        // and user-locally ordered, so this stable sort is a bijection onto
+        // `sessions::attribute_transactions`' output.
+        attributed.sort_by_key(|t| (t.user, t.timestamp));
+        CoreAggregates {
+            activity: self.activity.finish(ctx),
+            hourly: self.hourly.finish(ctx),
+            tx_stats: self.tx_stats.finish(ctx),
+            traffic: self.traffic.finish(ctx),
+            mobility: self.mobility.finish(ctx),
+            popularity: self.popularity.finish(ctx),
+            attributed,
+        }
+    }
+}
+
+/// The parallel aggregate engine.
+#[derive(Clone, Copy, Debug)]
+pub struct IngestEngine {
+    workers: usize,
+}
+
+impl IngestEngine {
+    /// An engine with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> IngestEngine {
+        IngestEngine {
+            workers: workers.max(1),
+        }
+    }
+
+    /// An engine sized to the machine ([`crate::default_workers`]).
+    pub fn with_default_workers() -> IngestEngine {
+        IngestEngine::new(crate::default_workers())
+    }
+
+    /// The worker count this engine runs with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Computes every hot aggregate over `ctx`'s store with the worker
+    /// pool. The result is bit-identical to
+    /// [`CoreAggregates::sequential`] for any worker count.
+    pub fn compute(&self, ctx: &StudyContext<'_>) -> (CoreAggregates, IngestReport) {
+        let start = Instant::now();
+        let shards = shard_store(ctx.store, self.workers * SHARDS_PER_WORKER);
+        let tasks: Vec<usize> = (0..shards.len())
+            .filter(|&i| !shards.shard_is_empty(i))
+            .collect();
+
+        let mut slots: Vec<Option<(ShardAggregates, ShardProgress)>> = Vec::new();
+        slots.resize_with(shards.len(), || None);
+
+        let (task_tx, task_rx) = channel::bounded::<usize>(tasks.len().max(1));
+        let (result_tx, result_rx) =
+            channel::bounded::<(usize, ShardAggregates, ShardProgress)>(tasks.len().max(1));
+
+        thread::scope(|s| {
+            let shards = &shards;
+            for _ in 0..self.workers {
+                let task_rx = task_rx.clone();
+                let result_tx = result_tx.clone();
+                s.spawn(move |_| {
+                    for i in task_rx.iter() {
+                        let t0 = Instant::now();
+                        let agg = ShardAggregates::fold(ctx, &shards.proxy[i], &shards.mme[i]);
+                        let progress = ShardProgress {
+                            shard: i,
+                            source: ShardSource::Memory,
+                            records: (shards.proxy[i].len() + shards.mme[i].len()) as u64,
+                            bytes: 0,
+                            parse_errors: 0,
+                            wall: t0.elapsed(),
+                        };
+                        if result_tx.send((i, agg, progress)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(result_tx);
+            for &i in &tasks {
+                // Workers outlive the queue, so send cannot fail.
+                task_tx.send(i).expect("worker pool hung up");
+            }
+            drop(task_tx);
+            for (i, agg, progress) in result_rx.iter() {
+                slots[i] = Some((agg, progress));
+            }
+        })
+        .expect("ingest worker panicked");
+
+        // Merge in ascending shard index — the deterministic merge order
+        // the Mergeable contract asks for.
+        let mut merged = ShardAggregates::identity();
+        let mut progress = Vec::new();
+        for slot in slots.into_iter().flatten() {
+            let (agg, p) = slot;
+            merged.merge(agg);
+            progress.push(p);
+        }
+        let aggregates = merged.finish(ctx);
+        let report = IngestReport {
+            workers: self.workers,
+            shards: progress,
+            wall: start.elapsed(),
+        };
+        (aggregates, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wearscope_appdb::AppCatalog;
+    use wearscope_devicedb::DeviceDb;
+    use wearscope_geo::{GeoPoint, SectorDirectory};
+    use wearscope_simtime::{Calendar, ObservationWindow, SimTime};
+    use wearscope_trace::{MmeEvent, Scheme, TraceStore, UserId};
+
+    fn world() -> (TraceStore, DeviceDb, SectorDirectory, AppCatalog) {
+        let db = DeviceDb::standard();
+        let mut sectors = SectorDirectory::new();
+        for i in 0..4 {
+            sectors.push(GeoPoint::new(40.0 + 0.1 * f64::from(i), -3.0), None);
+        }
+        let hosts = [
+            "api.weather.com",
+            "maps.googleapis.com",
+            "ssl.google-analytics.com",
+            "media.akamaized.net",
+        ];
+        let mut proxy = Vec::new();
+        let mut mme = Vec::new();
+        for i in 0..400u64 {
+            let user = i % 23;
+            let imei = db
+                .example_imei(
+                    db.wearable_tacs()[(user % 2) as usize % db.wearable_tacs().len()],
+                    user as u32,
+                )
+                .as_u64();
+            proxy.push(ProxyRecord {
+                timestamp: SimTime::from_secs(i * 977),
+                user: UserId(user),
+                imei,
+                host: hosts[(i % 4) as usize].into(),
+                scheme: Scheme::Https,
+                bytes_down: 100 + i * 7,
+                bytes_up: 40,
+            });
+            if i % 3 == 0 {
+                mme.push(MmeRecord {
+                    timestamp: SimTime::from_secs(i * 700),
+                    user: UserId(user),
+                    imei,
+                    event: if i % 9 == 6 {
+                        MmeEvent::Detach
+                    } else {
+                        MmeEvent::Attach
+                    },
+                    sector: (i % 4) as u32,
+                });
+            }
+        }
+        (
+            TraceStore::from_records(proxy, mme),
+            db,
+            sectors,
+            AppCatalog::standard(),
+        )
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_various_worker_counts() {
+        let (store, db, sectors, catalog) = world();
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::new(14, 14, Calendar::PAPER),
+        );
+        let sequential = CoreAggregates::sequential(&ctx);
+        for workers in [1, 2, 3, 8] {
+            let (parallel, report) = IngestEngine::new(workers).compute(&ctx);
+            assert_eq!(parallel.activity, sequential.activity, "workers={workers}");
+            assert_eq!(parallel.hourly, sequential.hourly, "workers={workers}");
+            assert_eq!(parallel.tx_stats, sequential.tx_stats, "workers={workers}");
+            assert_eq!(parallel.traffic, sequential.traffic, "workers={workers}");
+            assert_eq!(parallel.mobility, sequential.mobility, "workers={workers}");
+            assert_eq!(
+                parallel.attributed, sequential.attributed,
+                "workers={workers}"
+            );
+            assert_eq!(
+                parallel.popularity, sequential.popularity,
+                "workers={workers}"
+            );
+            assert_eq!(report.workers, workers);
+            assert_eq!(
+                report.records(),
+                (store.proxy().len() + store.mme().len()) as u64
+            );
+            assert_eq!(report.parse_errors(), 0);
+        }
+    }
+
+    #[test]
+    fn empty_store_produces_empty_aggregates() {
+        let db = DeviceDb::standard();
+        let sectors = SectorDirectory::new();
+        let catalog = AppCatalog::standard();
+        let store = TraceStore::new();
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::compact(),
+        );
+        let (aggs, report) = IngestEngine::new(4).compute(&ctx);
+        assert!(aggs.activity.is_empty());
+        assert!(aggs.attributed.is_empty());
+        assert_eq!(report.records(), 0);
+        assert!(report.shards.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! `wearscope-ingest`: sharded parallel log ingestion and the
+//! mergeable-aggregate engine.
+//!
+//! The analysis pipeline is embarrassingly parallel once two facts are
+//! pinned down:
+//!
+//! 1. every hot aggregate is a [`Mergeable`](wearscope_core::Mergeable)
+//!    fold — absorb records per shard, merge partials, finish once — whose
+//!    sharded result is *bit-identical* to the sequential fold (see
+//!    `wearscope_core::merge` for the determinism contract);
+//! 2. the only stateful folds (mobility dwell tracking, third-party
+//!    attribution) are user-local, so sharding by **user-ID hash** keeps
+//!    every stream they care about whole.
+//!
+//! This crate supplies the three layers on top of that substrate:
+//!
+//! * [`sharder`] — partitions an in-memory
+//!   [`TraceStore`](wearscope_trace::TraceStore) into user-hash shards
+//!   (byte-range shard *planning* for persisted logs lives in
+//!   [`wearscope_trace::shard`]);
+//! * [`load`] — parallel loading of persisted `proxy.log`/`mme.log` files
+//!   by byte-range shards;
+//! * [`engine`] — a scoped-thread worker pool (bounded-channel work queue,
+//!   workers compete for shards) producing a
+//!   [`CoreAggregates`](wearscope_core::CoreAggregates) plus an
+//!   [`IngestReport`](wearscope_report::IngestReport) of per-shard progress.
+//!
+//! `wearscope analyze --workers N` wires these together; `--workers 1`
+//! takes the legacy sequential path and the engine is proven byte-identical
+//! to it by the `ingest_determinism` property tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod load;
+pub mod sharder;
+
+pub use engine::IngestEngine;
+pub use load::load_store_parallel;
+pub use sharder::{shard_store, MemoryShards};
+
+/// The number of available CPUs — the default for `--workers`.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

@@ -1,0 +1,248 @@
+//! Parallel loading of persisted `proxy.log` / `mme.log` files.
+//!
+//! The shard planner ([`wearscope_trace::plan_tsv_shards`]) splits each
+//! file into record-aligned byte ranges; workers then parse ranges
+//! concurrently and the shards are concatenated in file order, so the
+//! resulting [`TraceStore`] is identical to a sequential
+//! [`TraceStore::load`] for any worker count.
+//!
+//! Shard readers are lenient-but-counting — a malformed line is recorded,
+//! not fatal, so one bad byte range cannot poison a whole worker — but the
+//! *load* keeps the legacy all-or-nothing contract: if any shard reported
+//! parse errors the load fails, with the counts in the error message.
+
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+use crossbeam::{channel, thread};
+
+use wearscope_report::{IngestReport, ShardProgress, ShardSource};
+use wearscope_trace::{
+    plan_tsv_shards, read_tsv_shard, ByteRange, MmeRecord, ProxyRecord, TraceStore, TsvShard,
+};
+
+use crate::engine::SHARDS_PER_WORKER;
+
+#[derive(Debug)]
+enum Task {
+    Proxy(usize, ByteRange),
+    Mme(usize, ByteRange),
+}
+
+enum Done {
+    Proxy(usize, TsvShard<ProxyRecord>, ShardProgress),
+    Mme(usize, TsvShard<MmeRecord>, ShardProgress),
+}
+
+/// Loads the store under `dir` (as written by `TraceStore::save`) with a
+/// pool of `workers` shard readers.
+///
+/// # Errors
+/// Propagates I/O errors, and fails with [`io::ErrorKind::InvalidData`] if
+/// any shard contained malformed lines.
+pub fn load_store_parallel(dir: &Path, workers: usize) -> io::Result<(TraceStore, IngestReport)> {
+    let workers = workers.max(1);
+    let start = Instant::now();
+    let proxy_path = dir.join("proxy.log");
+    let mme_path = dir.join("mme.log");
+    let max_shards = workers * SHARDS_PER_WORKER;
+    let proxy_plan = plan_tsv_shards(&proxy_path, max_shards)?;
+    let mme_plan = plan_tsv_shards(&mme_path, max_shards)?;
+
+    let tasks: Vec<Task> = proxy_plan
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Task::Proxy(i, *r))
+        .chain(mme_plan.iter().enumerate().map(|(i, r)| Task::Mme(i, *r)))
+        .collect();
+
+    let mut proxy_slots: Vec<Option<TsvShard<ProxyRecord>>> = Vec::new();
+    proxy_slots.resize_with(proxy_plan.len(), || None);
+    let mut mme_slots: Vec<Option<TsvShard<MmeRecord>>> = Vec::new();
+    mme_slots.resize_with(mme_plan.len(), || None);
+    let mut progress: Vec<ShardProgress> = Vec::new();
+
+    let (task_tx, task_rx) = channel::bounded::<Task>(tasks.len().max(1));
+    let (result_tx, result_rx) = channel::bounded::<io::Result<Done>>(tasks.len().max(1));
+
+    thread::scope(|s| {
+        let proxy_path = &proxy_path;
+        let mme_path = &mme_path;
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            s.spawn(move |_| {
+                for task in task_rx.iter() {
+                    let t0 = Instant::now();
+                    let done = match task {
+                        Task::Proxy(i, range) => read_tsv_shard::<ProxyRecord>(proxy_path, range)
+                            .map(|shard| {
+                                let p = shard_progress(i, ShardSource::Proxy, &shard, t0);
+                                Done::Proxy(i, shard, p)
+                            }),
+                        Task::Mme(i, range) => {
+                            read_tsv_shard::<MmeRecord>(mme_path, range).map(|shard| {
+                                let p = shard_progress(i, ShardSource::Mme, &shard, t0);
+                                Done::Mme(i, shard, p)
+                            })
+                        }
+                    };
+                    if result_tx.send(done).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+        for task in tasks {
+            // Workers outlive the queue, so send cannot fail.
+            task_tx.send(task).expect("shard reader pool hung up");
+        }
+        drop(task_tx);
+        let mut first_err: Option<io::Error> = None;
+        for done in result_rx.iter() {
+            match done {
+                Ok(Done::Proxy(i, shard, p)) => {
+                    proxy_slots[i] = Some(shard);
+                    progress.push(p);
+                }
+                Ok(Done::Mme(i, shard, p)) => {
+                    mme_slots[i] = Some(shard);
+                    progress.push(p);
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })
+    .expect("shard reader panicked")?;
+
+    // Legacy strictness: the counters stay informative, the load does not.
+    let parse_errors: u64 = progress.iter().map(|p| p.parse_errors).sum();
+    if parse_errors > 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{parse_errors} malformed log lines under {}", dir.display()),
+        ));
+    }
+
+    // Concatenate in shard-index order = file order; `from_records`' stable
+    // time sort then reproduces the sequential load exactly.
+    progress.sort_by_key(|p| (p.source != ShardSource::Proxy, p.shard));
+    let proxy: Vec<ProxyRecord> = proxy_slots
+        .into_iter()
+        .flatten()
+        .flat_map(|s| s.records)
+        .collect();
+    let mme: Vec<MmeRecord> = mme_slots
+        .into_iter()
+        .flatten()
+        .flat_map(|s| s.records)
+        .collect();
+    let store = TraceStore::from_records(proxy, mme);
+    let report = IngestReport {
+        workers,
+        shards: progress,
+        wall: start.elapsed(),
+    };
+    Ok((store, report))
+}
+
+fn shard_progress<R>(
+    shard: usize,
+    source: ShardSource,
+    tsv: &TsvShard<R>,
+    t0: Instant,
+) -> ShardProgress {
+    ShardProgress {
+        shard,
+        source,
+        records: tsv.records.len() as u64,
+        bytes: tsv.bytes,
+        parse_errors: tsv.errors.len() as u64,
+        wall: t0.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wearscope_simtime::SimTime;
+    use wearscope_trace::{MmeEvent, Scheme, UserId};
+
+    fn sample_store() -> TraceStore {
+        let proxy = (0..500u64)
+            .map(|i| ProxyRecord {
+                timestamp: SimTime::from_secs(i * 37),
+                user: UserId(i % 11),
+                imei: 100 + i % 11,
+                host: format!("host-{}.example.com", i % 5),
+                scheme: if i % 2 == 0 {
+                    Scheme::Https
+                } else {
+                    Scheme::Http
+                },
+                bytes_down: i * 13,
+                bytes_up: i,
+            })
+            .collect();
+        let mme = (0..200u64)
+            .map(|i| MmeRecord {
+                timestamp: SimTime::from_secs(i * 91),
+                user: UserId(i % 11),
+                imei: 100 + i % 11,
+                event: if i % 5 == 4 {
+                    MmeEvent::Detach
+                } else {
+                    MmeEvent::SectorUpdate
+                },
+                sector: (i % 7) as u32,
+            })
+            .collect();
+        TraceStore::from_records(proxy, mme)
+    }
+
+    #[test]
+    fn parallel_load_equals_sequential_load() {
+        let store = sample_store();
+        let dir = std::env::temp_dir().join(format!("wearscope-pload-{}", std::process::id()));
+        store.save(&dir).unwrap();
+        let sequential = TraceStore::load(&dir).unwrap();
+        for workers in [1, 2, 5] {
+            let (parallel, report) = load_store_parallel(&dir, workers).unwrap();
+            assert_eq!(parallel.proxy(), sequential.proxy(), "workers={workers}");
+            assert_eq!(parallel.mme(), sequential.mme(), "workers={workers}");
+            assert_eq!(
+                report.records(),
+                (store.proxy().len() + store.mme().len()) as u64
+            );
+            assert_eq!(report.parse_errors(), 0);
+            assert!(report.shards.len() > 1 || workers == 1);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_line_fails_the_load_with_counts() {
+        let store = sample_store();
+        let dir = std::env::temp_dir().join(format!("wearscope-pload-bad-{}", std::process::id()));
+        store.save(&dir).unwrap();
+        // Corrupt one line in the middle of the proxy log.
+        let path = dir.join("proxy.log");
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        let mid = content.len() / 2;
+        let line_start = content[..mid].rfind('\n').unwrap() + 1;
+        let line_end = content[line_start..].find('\n').unwrap() + line_start;
+        content.replace_range(line_start..line_end, "not\ta\tvalid\trecord");
+        std::fs::write(&path, content).unwrap();
+
+        let err = load_store_parallel(&dir, 4).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("1 malformed"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

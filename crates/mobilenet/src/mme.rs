@@ -201,7 +201,7 @@ impl Mme {
     }
 
     fn emit(&mut self, t: SimTime, user: UserId, imei: u64, event: MmeEvent, sector: SectorId) {
-        if self.window.map_or(true, |w| w.in_detail(t)) {
+        if self.window.is_none_or(|w| w.in_detail(t)) {
             self.log.push(MmeRecord {
                 timestamp: t,
                 user,
@@ -424,7 +424,10 @@ mod tests {
         let back = MmeSummary::read_tsv(buf.as_slice()).unwrap();
         assert_eq!(back.users_on_day(0), 2);
         assert_eq!(back.users_on_day(3), 1);
-        assert_eq!(back.users_in_days(0, 10), mme.summary().users_in_days(0, 10));
+        assert_eq!(
+            back.users_in_days(0, 10),
+            mme.summary().users_in_days(0, 10)
+        );
         assert!(MmeSummary::read_tsv("garbage".as_bytes()).is_err());
     }
 

@@ -64,9 +64,7 @@ impl NetworkSummaries {
         let wearable = std::fs::File::open(dir.join("summary_traffic.tsv"))?;
         Ok(NetworkSummaries {
             mme: MmeSummary::read_tsv(std::io::BufReader::new(mme))?,
-            wearable_traffic: WearableTrafficSummary::read_tsv(std::io::BufReader::new(
-                wearable,
-            ))?,
+            wearable_traffic: WearableTrafficSummary::read_tsv(std::io::BufReader::new(wearable))?,
             census: SectorCensus::default(),
         })
     }
@@ -188,13 +186,23 @@ impl MobileNetwork {
         }
         inner.events += 1;
         match event {
-            NetworkEvent::Attach { t, user, imei, sector } => {
+            NetworkEvent::Attach {
+                t,
+                user,
+                imei,
+                sector,
+            } => {
                 inner.mme.attach(t, user, imei, sector);
             }
             NetworkEvent::Detach { t, user, imei } => {
                 inner.mme.detach(t, user, imei);
             }
-            NetworkEvent::Move { t, user, imei, sector } => {
+            NetworkEvent::Move {
+                t,
+                user,
+                imei,
+                sector,
+            } => {
                 inner.mme.sector_update(t, user, imei, sector);
             }
             NetworkEvent::Transaction {
@@ -207,9 +215,17 @@ impl MobileNetwork {
                 bytes_up,
             } => {
                 let is_wearable = self.is_wearable(imei);
-                let retain = self.window.map_or(true, |w| w.in_detail(t));
+                let retain = self.window.is_none_or(|w| w.in_detail(t));
                 inner.proxy.observe(
-                    t, user, imei, &host, scheme, bytes_down, bytes_up, is_wearable, retain,
+                    t,
+                    user,
+                    imei,
+                    &host,
+                    scheme,
+                    bytes_down,
+                    bytes_up,
+                    is_wearable,
+                    retain,
                 );
             }
         }
@@ -263,7 +279,12 @@ mod tests {
         let (_, net, imei) = setup();
         let u = UserId(1);
         net.handle_all(vec![
-            NetworkEvent::Attach { t: SimTime::from_secs(10), user: u, imei, sector: SectorId(0) },
+            NetworkEvent::Attach {
+                t: SimTime::from_secs(10),
+                user: u,
+                imei,
+                sector: SectorId(0),
+            },
             NetworkEvent::Transaction {
                 t: SimTime::from_secs(20),
                 user: u,
@@ -273,8 +294,17 @@ mod tests {
                 bytes_down: 1,
                 bytes_up: 2,
             },
-            NetworkEvent::Move { t: SimTime::from_secs(30), user: u, imei, sector: SectorId(1) },
-            NetworkEvent::Detach { t: SimTime::from_secs(40), user: u, imei },
+            NetworkEvent::Move {
+                t: SimTime::from_secs(30),
+                user: u,
+                imei,
+                sector: SectorId(1),
+            },
+            NetworkEvent::Detach {
+                t: SimTime::from_secs(40),
+                user: u,
+                imei,
+            },
         ]);
         let (store, _, stats) = net.finish();
         assert!(store.is_time_sorted());
@@ -289,8 +319,18 @@ mod tests {
     fn time_regressions_counted_but_sorted_away() {
         let (_, net, imei) = setup();
         let u = UserId(1);
-        net.handle(NetworkEvent::Attach { t: SimTime::from_secs(100), user: u, imei, sector: SectorId(0) });
-        net.handle(NetworkEvent::Move { t: SimTime::from_secs(50), user: u, imei, sector: SectorId(1) });
+        net.handle(NetworkEvent::Attach {
+            t: SimTime::from_secs(100),
+            user: u,
+            imei,
+            sector: SectorId(0),
+        });
+        net.handle(NetworkEvent::Move {
+            t: SimTime::from_secs(50),
+            user: u,
+            imei,
+            sector: SectorId(1),
+        });
         let (store, _, stats) = net.finish();
         assert_eq!(stats.time_regressions, 1);
         assert!(store.is_time_sorted());

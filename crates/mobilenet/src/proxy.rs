@@ -89,19 +89,17 @@ impl WearableTrafficSummary {
             let mut fields = line.split('\t');
             match fields.next().ok_or_else(bad)? {
                 "U" => {
-                    let day: u64 =
-                        fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
-                    let user: u64 =
-                        fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
-                    out.users_by_day.entry(day).or_default().insert(UserId(user));
+                    let day: u64 = fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                    let user: u64 = fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                    out.users_by_day
+                        .entry(day)
+                        .or_default()
+                        .insert(UserId(user));
                 }
                 "D" => {
-                    let day: u64 =
-                        fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
-                    let tx: u64 =
-                        fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
-                    let bytes: u64 =
-                        fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                    let day: u64 = fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                    let tx: u64 = fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                    let bytes: u64 = fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
                     *out.transactions_by_day.entry(day).or_default() += tx;
                     *out.bytes_by_day.entry(day).or_default() += bytes;
                 }
@@ -232,8 +230,28 @@ mod tests {
     #[test]
     fn observe_accumulates() {
         let mut p = TransparentProxy::new();
-        p.observe(SimTime::from_secs(1), UserId(1), 10, "a.com", Scheme::Https, 100, 20, true, true);
-        p.observe(SimTime::from_secs(2), UserId(2), 11, "b.com", Scheme::Http, 50, 5, false, true);
+        p.observe(
+            SimTime::from_secs(1),
+            UserId(1),
+            10,
+            "a.com",
+            Scheme::Https,
+            100,
+            20,
+            true,
+            true,
+        );
+        p.observe(
+            SimTime::from_secs(2),
+            UserId(2),
+            11,
+            "b.com",
+            Scheme::Http,
+            50,
+            5,
+            false,
+            true,
+        );
         let c = p.counters();
         assert_eq!(c.transactions, 2);
         assert_eq!(c.https_transactions, 1);
@@ -246,7 +264,17 @@ mod tests {
     #[test]
     fn take_log_keeps_counters() {
         let mut p = TransparentProxy::new();
-        p.observe(SimTime::from_secs(1), UserId(1), 10, "a.com", Scheme::Https, 100, 20, true, true);
+        p.observe(
+            SimTime::from_secs(1),
+            UserId(1),
+            10,
+            "a.com",
+            Scheme::Https,
+            100,
+            20,
+            true,
+            true,
+        );
         let log = p.take_log();
         assert_eq!(log.len(), 1);
         assert!(p.log().is_empty());
@@ -261,7 +289,17 @@ mod tests {
     #[test]
     fn unretained_transactions_still_counted_and_summarized() {
         let mut p = TransparentProxy::new();
-        p.observe(SimTime::from_days(3), UserId(7), 10, "a.com", Scheme::Https, 100, 20, true, false);
+        p.observe(
+            SimTime::from_days(3),
+            UserId(7),
+            10,
+            "a.com",
+            Scheme::Https,
+            100,
+            20,
+            true,
+            false,
+        );
         assert!(p.log().is_empty());
         assert_eq!(p.counters().transactions, 1);
         assert_eq!(p.wearable_summary().users_on_day(3), 1);
@@ -273,9 +311,39 @@ mod tests {
     #[test]
     fn traffic_summary_tsv_roundtrip() {
         let mut p = TransparentProxy::new();
-        p.observe(SimTime::from_days(0), UserId(1), 1, "a", Scheme::Https, 100, 20, true, false);
-        p.observe(SimTime::from_days(0), UserId(2), 1, "a", Scheme::Https, 50, 0, true, false);
-        p.observe(SimTime::from_days(4), UserId(1), 1, "a", Scheme::Https, 10, 0, true, false);
+        p.observe(
+            SimTime::from_days(0),
+            UserId(1),
+            1,
+            "a",
+            Scheme::Https,
+            100,
+            20,
+            true,
+            false,
+        );
+        p.observe(
+            SimTime::from_days(0),
+            UserId(2),
+            1,
+            "a",
+            Scheme::Https,
+            50,
+            0,
+            true,
+            false,
+        );
+        p.observe(
+            SimTime::from_days(4),
+            UserId(1),
+            1,
+            "a",
+            Scheme::Https,
+            10,
+            0,
+            true,
+            false,
+        );
         let mut buf = Vec::new();
         p.wearable_summary().write_tsv(&mut buf).unwrap();
         let back = WearableTrafficSummary::read_tsv(buf.as_slice()).unwrap();
@@ -289,7 +357,17 @@ mod tests {
     #[test]
     fn non_wearable_not_summarized() {
         let mut p = TransparentProxy::new();
-        p.observe(SimTime::from_days(0), UserId(1), 10, "a.com", Scheme::Http, 5, 5, false, true);
+        p.observe(
+            SimTime::from_days(0),
+            UserId(1),
+            10,
+            "a.com",
+            Scheme::Http,
+            5,
+            5,
+            false,
+            true,
+        );
         assert_eq!(p.wearable_summary().users_on_day(0), 0);
         assert_eq!(p.wearable_summary().users_in_days(0, 10).len(), 0);
     }

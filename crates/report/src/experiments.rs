@@ -303,11 +303,19 @@ impl ExperimentReport {
                 r.description.to_string(),
                 format_value(r.paper),
                 format_value(r.measured),
-                if r.passes() { "✓".into() } else { "✗".into() },
+                if r.passes() {
+                    "✓".into()
+                } else {
+                    "✗".into()
+                },
             ]);
         }
         let mut s = t.render();
-        s.push_str(&format!("\n{}/{} within band\n", self.passed(), self.total()));
+        s.push_str(&format!(
+            "\n{}/{} within band\n",
+            self.passed(),
+            self.total()
+        ));
         s
     }
 }
@@ -316,7 +324,9 @@ impl ExperimentReport {
     /// Renders the comparison as a GitHub-flavoured markdown table (the
     /// EXPERIMENTS.md format).
     pub fn render_markdown(&self) -> String {
-        let mut out = String::from("| Experiment | Description | Paper | Measured | OK |\n|---|---|---:|---:|:-:|\n");
+        let mut out = String::from(
+            "| Experiment | Description | Paper | Measured | OK |\n|---|---|---:|---:|:-:|\n",
+        );
         for r in &self.rows {
             out.push_str(&format!(
                 "| {} | {} | {} | {} | {} |\n",
@@ -327,7 +337,11 @@ impl ExperimentReport {
                 if r.passes() { "✓" } else { "✗" }
             ));
         }
-        out.push_str(&format!("\n{}/{} within band\n", self.passed(), self.total()));
+        out.push_str(&format!(
+            "\n{}/{} within band\n",
+            self.passed(),
+            self.total()
+        ));
         out
     }
 }

@@ -5,13 +5,13 @@
 use std::io;
 use std::path::Path;
 
-use wearscope_core::activity::{self, ActivityCorrelation, ActivitySpans, HourlyProfile, TransactionStats};
+use wearscope_core::activity::{ActivityCorrelation, ActivitySpans};
 use wearscope_core::adoption::{AdoptionTrend, CohortRetention};
-use wearscope_core::apps::{AppPopularity, AppUsage, CategoryPopularity};
-use wearscope_core::mobility::{Displacement, LocationEntropy, MobilityActivity, MobilityIndex};
+use wearscope_core::apps::{AppUsage, CategoryPopularity};
+use wearscope_core::mobility::{Displacement, LocationEntropy, MobilityActivity};
 use wearscope_core::sessions::{self, PerUsage};
 use wearscope_core::thirdparty::DomainBreakdown;
-use wearscope_core::{Ecdf, StudyContext};
+use wearscope_core::{CoreAggregates, Ecdf, StudyContext};
 use wearscope_mobilenet::NetworkSummaries;
 
 use crate::csv::CsvWriter;
@@ -20,12 +20,33 @@ use crate::csv::CsvWriter;
 pub struct FigureCsvExporter<'a> {
     ctx: &'a StudyContext<'a>,
     summaries: &'a NetworkSummaries,
+    aggs: Option<&'a CoreAggregates>,
 }
 
 impl<'a> FigureCsvExporter<'a> {
-    /// Creates an exporter over a study context and vantage summaries.
+    /// Creates an exporter over a study context and vantage summaries; the
+    /// hot aggregates are computed sequentially during export.
     pub fn new(ctx: &'a StudyContext<'a>, summaries: &'a NetworkSummaries) -> Self {
-        FigureCsvExporter { ctx, summaries }
+        FigureCsvExporter {
+            ctx,
+            summaries,
+            aggs: None,
+        }
+    }
+
+    /// Creates an exporter over pre-computed hot aggregates — the entry
+    /// point used by the parallel ingest engine, which produces an
+    /// identical [`CoreAggregates`] via sharded mergeable folds.
+    pub fn with_aggregates(
+        ctx: &'a StudyContext<'a>,
+        summaries: &'a NetworkSummaries,
+        aggs: &'a CoreAggregates,
+    ) -> Self {
+        FigureCsvExporter {
+            ctx,
+            summaries,
+            aggs: Some(aggs),
+        }
     }
 
     /// Runs every analysis and writes all figure CSVs under `dir`; returns
@@ -34,6 +55,14 @@ impl<'a> FigureCsvExporter<'a> {
     /// # Errors
     /// Propagates filesystem errors.
     pub fn export_all(&self, dir: &Path) -> io::Result<usize> {
+        let computed;
+        let aggs = match self.aggs {
+            Some(a) => a,
+            None => {
+                computed = CoreAggregates::sequential(self.ctx);
+                &computed
+            }
+        };
         std::fs::create_dir_all(dir)?;
         let mut written = 0usize;
         let mut emit = |name: &str, content: String| -> io::Result<()> {
@@ -63,7 +92,7 @@ impl<'a> FigureCsvExporter<'a> {
         emit("fig2b_retention.csv", w.finish())?;
 
         // Fig 3(a): hourly profile.
-        let profile = HourlyProfile::compute(self.ctx);
+        let profile = &aggs.hourly;
         let mut w = CsvWriter::new(vec!["day_type", "hour", "users", "transactions", "bytes"]);
         for (label, slots) in [("weekday", &profile.weekday), ("weekend", &profile.weekend)] {
             for (h, s) in slots.iter().enumerate() {
@@ -79,13 +108,12 @@ impl<'a> FigureCsvExporter<'a> {
         emit("fig3a_hourly.csv", w.finish())?;
 
         // Fig 3(b): spans; Fig 3(c): sizes; Fig 3(d): correlation points.
-        let act = activity::user_activity(self.ctx);
-        let spans = ActivitySpans::compute(self.ctx, &act);
+        let act = &aggs.activity;
+        let spans = ActivitySpans::compute(self.ctx, act);
         emit("fig3b_days_per_week.csv", ecdf_csv(&spans.days_per_week))?;
         emit("fig3b_hours_per_day.csv", ecdf_csv(&spans.hours_per_day))?;
-        let tx_stats = TransactionStats::compute(self.ctx, &act);
-        emit("fig3c_tx_sizes.csv", ecdf_csv(&tx_stats.size))?;
-        let corr = ActivityCorrelation::compute(&act);
+        emit("fig3c_tx_sizes.csv", ecdf_csv(&aggs.tx_stats.size))?;
+        let corr = ActivityCorrelation::compute(act);
         let mut w = CsvWriter::new(vec!["active_hours_per_day", "tx_per_active_hour"]);
         for (x, y) in &corr.points {
             w.row(vec![format!("{x:.4}"), format!("{y:.4}")]);
@@ -93,22 +121,22 @@ impl<'a> FigureCsvExporter<'a> {
         emit("fig3d_activity_scatter.csv", w.finish())?;
 
         // Fig 4(a,b).
-        let traffic = wearscope_core::compare::user_traffic(self.ctx);
-        let ovr = wearscope_core::compare::OwnerVsRest::compute(self.ctx, &traffic);
+        let traffic = &aggs.traffic;
+        let ovr = wearscope_core::compare::OwnerVsRest::compute(self.ctx, traffic);
         emit("fig4a_owner_bytes.csv", ecdf_csv(&ovr.owner_bytes))?;
         emit("fig4a_rest_bytes.csv", ecdf_csv(&ovr.rest_bytes))?;
-        let share = wearscope_core::compare::WearableShare::compute(self.ctx, &traffic);
+        let share = wearscope_core::compare::WearableShare::compute(self.ctx, traffic);
         emit("fig4b_wearable_share.csv", ecdf_csv(&share.ratio))?;
 
         // Fig 4(c,d).
-        let index = MobilityIndex::build(self.ctx);
-        let disp = Displacement::compute(self.ctx, &index);
+        let index = &aggs.mobility;
+        let disp = Displacement::compute(self.ctx, index);
         emit("fig4c_owner_displacement.csv", ecdf_csv(&disp.owners))?;
         emit("fig4c_rest_displacement.csv", ecdf_csv(&disp.rest))?;
-        let entropy = LocationEntropy::compute(self.ctx, &index);
+        let entropy = LocationEntropy::compute(self.ctx, index);
         emit("fig4c_owner_entropy.csv", ecdf_csv(&entropy.owners))?;
         emit("fig4c_rest_entropy.csv", ecdf_csv(&entropy.rest))?;
-        let ma = MobilityActivity::compute(self.ctx, &index, &act);
+        let ma = MobilityActivity::compute(self.ctx, index, act);
         let mut w = CsvWriter::new(vec!["mean_daily_displacement_km", "tx_per_active_hour"]);
         for (x, y) in &ma.points {
             w.row(vec![format!("{x:.4}"), format!("{y:.4}")]);
@@ -116,20 +144,26 @@ impl<'a> FigureCsvExporter<'a> {
         emit("fig4d_mobility_scatter.csv", w.finish())?;
 
         // Fig 5/6/7.
-        let attributed = sessions::attribute_transactions(self.ctx);
-        let pop = AppPopularity::compute(&attributed);
+        let attributed = &aggs.attributed;
+        let pop = &aggs.popularity;
         let mut w = CsvWriter::new(vec!["app", "daily_associated_users", "app_used_days"]);
         for app in &pop.rank {
             let name = self.ctx.catalog.get(*app).map_or("?", |a| a.name);
             w.row(vec![
                 name.into(),
-                format!("{:.8}", pop.daily_associated_users.get(app).copied().unwrap_or(0.0)),
-                format!("{:.8}", pop.app_used_days_per_user.get(app).copied().unwrap_or(0.0)),
+                format!(
+                    "{:.8}",
+                    pop.daily_associated_users.get(app).copied().unwrap_or(0.0)
+                ),
+                format!(
+                    "{:.8}",
+                    pop.app_used_days_per_user.get(app).copied().unwrap_or(0.0)
+                ),
             ]);
         }
         emit("fig5a_app_popularity.csv", w.finish())?;
 
-        let sess = sessions::sessionize(&attributed);
+        let sess = sessions::sessionize(attributed);
         let usage = AppUsage::compute(&sess);
         let mut w = CsvWriter::new(vec!["app", "frequency", "transactions", "data"]);
         for app in &pop.rank {
@@ -146,8 +180,14 @@ impl<'a> FigureCsvExporter<'a> {
         }
         emit("fig5b_app_usage.csv", w.finish())?;
 
-        let cats = CategoryPopularity::compute(self.ctx, &pop, &usage);
-        let mut w = CsvWriter::new(vec!["category", "users", "frequency", "transactions", "data"]);
+        let cats = CategoryPopularity::compute(self.ctx, pop, &usage);
+        let mut w = CsvWriter::new(vec![
+            "category",
+            "users",
+            "frequency",
+            "transactions",
+            "data",
+        ]);
         for (cat, users) in CategoryPopularity::ranked(&cats.users) {
             let g = |m: &std::collections::HashMap<wearscope_appdb::AppCategory, f64>| {
                 format!("{:.8}", m.get(&cat).copied().unwrap_or(0.0))
@@ -167,7 +207,12 @@ impl<'a> FigureCsvExporter<'a> {
             .by_app
             .iter()
             .map(|(app, (tx, bytes, n))| {
-                (self.ctx.catalog.get(*app).map_or("?", |a| a.name), *tx, *bytes, *n)
+                (
+                    self.ctx.catalog.get(*app).map_or("?", |a| a.name),
+                    *tx,
+                    *bytes,
+                    *n,
+                )
             })
             .collect();
         rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(b.0)));
@@ -235,10 +280,18 @@ mod tests {
             }],
             vec![],
         );
-        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, ObservationWindow::compact());
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::compact(),
+        );
         let summaries = NetworkSummaries::default();
         let dir = std::env::temp_dir().join(format!("wearscope-figs-{}", std::process::id()));
-        let n = FigureCsvExporter::new(&ctx, &summaries).export_all(&dir).unwrap();
+        let n = FigureCsvExporter::new(&ctx, &summaries)
+            .export_all(&dir)
+            .unwrap();
         assert!(n >= 16, "{n} files");
         // Spot checks: headers and content.
         let fig5a = std::fs::read_to_string(dir.join("fig5a_app_popularity.csv")).unwrap();

@@ -7,6 +7,7 @@
 pub mod csv;
 pub mod experiments;
 pub mod figures;
+pub mod ingest;
 pub mod plot;
 pub mod summary;
 pub mod table;
@@ -14,6 +15,7 @@ pub mod table;
 pub use csv::CsvWriter;
 pub use experiments::{Band, ExperimentReport, ExperimentRow};
 pub use figures::FigureCsvExporter;
+pub use ingest::{IngestReport, ShardProgress, ShardSource};
 pub use plot::{bar_chart_log, ecdf_plot, sparkline};
 pub use summary::render_full_report;
 pub use table::Table;

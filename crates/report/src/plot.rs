@@ -7,7 +7,11 @@ pub fn bar_chart_log(rows: &[(String, f64)], width: usize, unit: &str) -> String
     if rows.is_empty() {
         return String::from("(no data)\n");
     }
-    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     let max = rows.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
     let min_positive = rows
         .iter()

@@ -111,7 +111,10 @@ pub fn render_full_report(ctx: &StudyContext<'_>, summaries: &NetworkSummaries) 
     let corr = ActivityCorrelation::compute(&act);
     section(
         "Fig 3(d): span↔rate correlation",
-        format!("pearson {:.2}, spearman {:.2} (paper: clear positive)\n", corr.pearson, corr.spearman),
+        format!(
+            "pearson {:.2}, spearman {:.2} (paper: clear positive)\n",
+            corr.pearson, corr.spearman
+        ),
     );
 
     // Fig 4.
@@ -160,7 +163,10 @@ pub fn render_full_report(ctx: &StudyContext<'_>, summaries: &NetworkSummaries) 
             )
         })
         .collect();
-    section("Fig 5(a): app popularity (top 15)", bar_chart_log(&rows, 30, "%"));
+    section(
+        "Fig 5(a): app popularity (top 15)",
+        bar_chart_log(&rows, 30, "%"),
+    );
     let sess = sessions::sessionize(&attributed);
     let usage = AppUsage::compute(&sess);
     let cats = CategoryPopularity::compute(ctx, &pop, &usage);
@@ -191,7 +197,10 @@ pub fn render_full_report(ctx: &StudyContext<'_>, summaries: &NetworkSummaries) 
         .collect();
     per_rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     per_rows.truncate(10);
-    section("Fig 7: KB per single usage (top 10)", bar_chart_log(&per_rows, 30, " KB"));
+    section(
+        "Fig 7: KB per single usage (top 10)",
+        bar_chart_log(&per_rows, 30, " KB"),
+    );
 
     // Fig 8.
     let breakdown = DomainBreakdown::compute(ctx);
@@ -263,7 +272,13 @@ mod tests {
             }],
             vec![],
         );
-        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, ObservationWindow::compact());
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::compact(),
+        );
         let report = render_full_report(&ctx, &NetworkSummaries::default());
         for heading in [
             "trace QA",
@@ -293,7 +308,13 @@ mod tests {
         let catalog = AppCatalog::standard();
         let sectors = SectorDirectory::new();
         let store = TraceStore::new();
-        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, ObservationWindow::compact());
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::compact(),
+        );
         let report = render_full_report(&ctx, &NetworkSummaries::default());
         assert!(report.contains("trace QA"));
     }

@@ -55,7 +55,10 @@ impl Table {
         let numeric: Vec<bool> = (0..cols)
             .map(|i| {
                 !self.rows.is_empty()
-                    && self.rows.iter().all(|r| looks_numeric(&r[i]) || r[i].is_empty())
+                    && self
+                        .rows
+                        .iter()
+                        .all(|r| looks_numeric(&r[i]) || r[i].is_empty())
             })
             .collect();
         let mut out = String::new();
@@ -91,8 +94,9 @@ impl Table {
 
 fn looks_numeric(s: &str) -> bool {
     !s.is_empty()
-        && s.chars()
-            .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E' | '%' | '✓' | '✗'))
+        && s.chars().all(|c| {
+            c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E' | '%' | '✓' | '✗')
+        })
 }
 
 #[cfg(test)]

@@ -37,7 +37,10 @@ impl TimeRange {
 
     /// The range covering day `day_index` (midnight to midnight).
     pub fn day(day_index: u64) -> TimeRange {
-        TimeRange::new(SimTime::from_days(day_index), SimTime::from_days(day_index + 1))
+        TimeRange::new(
+            SimTime::from_days(day_index),
+            SimTime::from_days(day_index + 1),
+        )
     }
 
     /// The range covering week `week_index`.

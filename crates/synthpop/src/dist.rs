@@ -220,7 +220,10 @@ mod tests {
         assert!((median / 3000.0 - 1.0).abs() < 0.05, "median {median}");
         // Mean should be median · exp(σ²/2) ≈ 2.66 · median.
         let (m, _) = mean_sd(&xs);
-        assert!((m / (3000.0 * (1.4f64.powi(2) / 2.0).exp()) - 1.0).abs() < 0.1, "mean {m}");
+        assert!(
+            (m / (3000.0 * (1.4f64.powi(2) / 2.0).exp()) - 1.0).abs() < 0.1,
+            "mean {m}"
+        );
     }
 
     #[test]
@@ -239,7 +242,10 @@ mod tests {
                 .map(|_| poisson(&mut rng, lambda) as f64)
                 .collect();
             let (m, s) = mean_sd(&xs);
-            assert!((m - lambda).abs() < 0.05 * lambda + 0.05, "λ={lambda} mean {m}");
+            assert!(
+                (m - lambda).abs() < 0.05 * lambda + 0.05,
+                "λ={lambda} mean {m}"
+            );
             assert!(
                 (s * s - lambda).abs() < 0.12 * lambda + 0.1,
                 "λ={lambda} var {}",
@@ -268,7 +274,10 @@ mod tests {
         for (k, theta) in [(0.5, 2.0), (1.0, 1.0), (3.0, 0.5), (9.0, 2.0)] {
             let xs: Vec<f64> = (0..40_000).map(|_| gamma(&mut rng, k, theta)).collect();
             let (m, s) = mean_sd(&xs);
-            assert!((m - k * theta).abs() < 0.05 * k * theta + 0.02, "k={k} mean {m}");
+            assert!(
+                (m - k * theta).abs() < 0.05 * k * theta + 0.02,
+                "k={k} mean {m}"
+            );
             let want_var = k * theta * theta;
             assert!(
                 (s * s - want_var).abs() < 0.15 * want_var + 0.02,

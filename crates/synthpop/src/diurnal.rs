@@ -66,6 +66,7 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn weekday_has_commute_bumps() {
         // Morning commute hours outweigh the late-morning trough.
         assert!(WEEKDAY[7] > 1.3 * WEEKDAY[10]);
@@ -84,9 +85,10 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn home_profile_excludes_office_hours() {
-        for h in 9..17 {
-            assert_eq!(HOME_HOURS_WEEKDAY[h], 0.0, "hour {h}");
+        for (h, &w) in HOME_HOURS_WEEKDAY.iter().enumerate().take(17).skip(9) {
+            assert_eq!(w, 0.0, "hour {h}");
         }
         assert!(HOME_HOURS_WEEKDAY[19] > 1.0);
     }

@@ -60,7 +60,11 @@ impl DayPlan {
 /// Intensity couples into the trip/commute decision mildly so that more
 /// intense users (who also transact more per hour) travel farther — the
 /// correlation of Fig. 4(d).
-pub fn day_plan<R: Rng + ?Sized>(rng: &mut R, sub: &Subscriber, weekend: bool) -> (DayKind, DayPlan) {
+pub fn day_plan<R: Rng + ?Sized>(
+    rng: &mut R,
+    sub: &Subscriber,
+    weekend: bool,
+) -> (DayKind, DayPlan) {
     let home = sub.home;
     let jitter_min = |rng: &mut R, base_h: f64, sd_min: f64| -> u64 {
         let t = base_h * SECS_PER_HOUR as f64 + dist::normal_with(rng, 0.0, sd_min * 60.0);
@@ -124,7 +128,13 @@ pub fn day_plan<R: Rng + ?Sized>(rng: &mut R, sub: &Subscriber, weekend: bool) -
         let out = jitter_min(rng, 12.8, 20.0).clamp(leave + 600, back.saturating_sub(1200));
         let ret = (out + SECS_PER_HOUR / 2).min(back.saturating_sub(600));
         if out > leave && ret > out {
-            anchors = vec![(0, home), (leave, sub.work), (out, lunch), (ret, sub.work), (back, home)];
+            anchors = vec![
+                (0, home),
+                (leave, sub.work),
+                (out, lunch),
+                (ret, sub.work),
+                (back, home),
+            ];
         }
     }
     (DayKind::Commute, DayPlan { anchors })
@@ -214,7 +224,11 @@ mod tests {
         let (kind, plan) = day_plan(&mut rng, &s, false);
         assert_eq!(kind, DayKind::Trip);
         let far = plan.location_at(12 * SECS_PER_HOUR);
-        assert!(far.distance_km(s.home) > 40.0, "trip only {} km", far.distance_km(s.home));
+        assert!(
+            far.distance_km(s.home) > 40.0,
+            "trip only {} km",
+            far.distance_km(s.home)
+        );
     }
 
     #[test]

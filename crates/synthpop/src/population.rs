@@ -35,9 +35,8 @@ pub fn cohort_sizes(config: &ScenarioConfig) -> (usize, usize) {
     let months = config.window.summary().num_days() as f64 / 30.0;
     let total_growth = config.calibration.monthly_growth * months;
     let initial = (config.wearable_users as f64 / (1.0 + total_growth)).round() as usize;
-    let arrivals = ((total_growth + config.calibration.cohort_churn)
-        * initial as f64)
-        .round() as usize;
+    let arrivals =
+        ((total_growth + config.calibration.cohort_churn) * initial as f64).round() as usize;
     (initial, arrivals)
 }
 
@@ -414,7 +413,9 @@ mod tests {
                 .unwrap();
             assert_eq!(rec.class, DeviceClass::Smartphone);
             if let Some(w) = s.wearable_imei {
-                let rec = db.lookup(wearscope_devicedb::Imei::from_u64(w).unwrap()).unwrap();
+                let rec = db
+                    .lookup(wearscope_devicedb::Imei::from_u64(w).unwrap())
+                    .unwrap();
                 assert_eq!(rec.class, DeviceClass::CellularWearable);
             }
         }
@@ -433,9 +434,15 @@ mod tests {
         let active = owners.iter().filter(|s| s.data_active).count() as f64 / n;
         assert!((active - 0.34).abs() < 0.05, "data-active share {active}");
 
-        let mean_apps =
-            owners.iter().map(|s| s.installed_apps.len() as f64).sum::<f64>() / n;
-        assert!((6.0..11.5).contains(&mean_apps), "mean installed apps {mean_apps}");
+        let mean_apps = owners
+            .iter()
+            .map(|s| s.installed_apps.len() as f64)
+            .sum::<f64>()
+            / n;
+        assert!(
+            (6.0..11.5).contains(&mean_apps),
+            "mean installed apps {mean_apps}"
+        );
         let under_20 = owners
             .iter()
             .filter(|s| s.installed_apps.len() < 20)
@@ -444,11 +451,17 @@ mod tests {
         assert!((0.85..0.97).contains(&under_20), "apps<20 share {under_20}");
 
         let home_share = owners.iter().filter(|s| s.home_user).count() as f64 / n;
-        assert!((home_share - 0.60).abs() < 0.05, "home-user share {home_share}");
+        assert!(
+            (home_share - 0.60).abs() < 0.05,
+            "home-user share {home_share}"
+        );
 
         // Mean active days/week ≈ 1.
         let mean_days = owners.iter().map(|s| s.active_day_prob * 7.0).sum::<f64>() / n;
-        assert!((0.7..1.4).contains(&mean_days), "mean active days/wk {mean_days}");
+        assert!(
+            (0.7..1.4).contains(&mean_days),
+            "mean active days/wk {mean_days}"
+        );
     }
 
     #[test]

@@ -87,6 +87,21 @@ impl GeneratedWorld {
     /// # Errors
     /// Fails on filesystem errors or malformed files.
     pub fn load(dir: &std::path::Path) -> std::io::Result<SavedWorld> {
+        let store = TraceStore::load(dir).map_err(|e| std::io::Error::other(e.to_string()))?;
+        Self::load_with_store(dir, store)
+    }
+
+    /// [`GeneratedWorld::load`] with the logs supplied by the caller — the
+    /// entry point for the parallel ingest path, which loads
+    /// `proxy.log`/`mme.log` itself via byte-range shards and only needs
+    /// the manifest, cell plan, and summaries from here.
+    ///
+    /// # Errors
+    /// Fails on filesystem errors or malformed files.
+    pub fn load_with_store(
+        dir: &std::path::Path,
+        store: TraceStore,
+    ) -> std::io::Result<SavedWorld> {
         let manifest = std::fs::read_to_string(dir.join("manifest.tsv"))?;
         let mut summary_days = 0u64;
         let mut detailed_days = 0u64;
@@ -110,7 +125,6 @@ impl GeneratedWorld {
             detailed_days,
             wearscope_simtime::Calendar::PAPER,
         );
-        let store = TraceStore::load(dir).map_err(|e| std::io::Error::other(e.to_string()))?;
         let sectors_file = std::fs::File::open(dir.join("sectors.tsv"))?;
         let sectors = SectorDirectory::read_tsv(std::io::BufReader::new(sectors_file))?;
         let summaries = NetworkSummaries::load(dir)?;
@@ -149,15 +163,7 @@ pub fn generate(config: &ScenarioConfig) -> GeneratedWorld {
     for day in config.window.summary().days() {
         let weekend = config.window.calendar().day_is_weekend(day);
         let in_detail = day >= detail_start_day;
-        let mut events = generate_day(
-            config,
-            &population,
-            &apps,
-            &grid,
-            day,
-            weekend,
-            in_detail,
-        );
+        let mut events = generate_day(config, &population, &apps, &grid, day, weekend, in_detail);
         events.sort_by_key(NetworkEvent::time);
         network.handle_all(events);
     }
@@ -205,9 +211,7 @@ fn generate_day(
                 scope.spawn(move |_| {
                     let mut out = Vec::new();
                     for sub in slice {
-                        user_day_events(
-                            config, apps, grid, sub, day, weekend, in_detail, &mut out,
-                        );
+                        user_day_events(config, apps, grid, sub, day, weekend, in_detail, &mut out);
                     }
                     out
                 })
@@ -251,8 +255,7 @@ fn user_day_events(
             let owns = sub.owns_wearable_on(day);
             // A data-active user's watch must attach to transmit, so an
             // active day implies registration even for occasional users.
-            let active_today =
-                owns && sub.data_active && dist::coin(&mut rng, sub.active_day_prob);
+            let active_today = owns && sub.data_active && dist::coin(&mut rng, sub.active_day_prob);
             let registered = owns
                 && (sub.regular_registration
                     || active_today
@@ -263,9 +266,8 @@ fn user_day_events(
                 let t_on = 5 * SECS_PER_HOUR
                     + 30 * SECS_PER_MINUTE
                     + rng.random_range(0..(2 * SECS_PER_HOUR));
-                let t_off = 22 * SECS_PER_HOUR
-                    + 30 * SECS_PER_MINUTE
-                    + rng.random_range(0..SECS_PER_HOUR);
+                let t_off =
+                    22 * SECS_PER_HOUR + 30 * SECS_PER_MINUTE + rng.random_range(0..SECS_PER_HOUR);
                 out.push(NetworkEvent::Attach {
                     t: midnight + wearscope_simtime::SimDuration::from_secs(t_on),
                     user: sub.user,
@@ -288,7 +290,9 @@ fn user_day_events(
                 // window: the proxy's summary statistics need it, raw
                 // records are only retained in the detailed window).
                 let txs = if active_today {
-                    wearable_day_traffic(&mut rng, sub, cal, apps, day, weekend, |s| plan.at_home(s))
+                    wearable_day_traffic(&mut rng, sub, cal, apps, day, weekend, |s| {
+                        plan.at_home(s)
+                    })
                 } else {
                     Vec::new()
                 };
@@ -358,8 +362,7 @@ fn user_day_events(
                 });
             }
             out.push(NetworkEvent::Detach {
-                t: midnight
-                    + wearscope_simtime::SimDuration::from_secs(24 * SECS_PER_HOUR - 5),
+                t: midnight + wearscope_simtime::SimDuration::from_secs(24 * SECS_PER_HOUR - 5),
                 user: sub.user,
                 imei,
             });
@@ -443,7 +446,12 @@ mod tests {
         let mut wearable_tx = 0usize;
         let mut phone_tx = 0usize;
         for r in world.store.proxy() {
-            match world.db.lookup(Imei::from_u64(r.imei).unwrap()).unwrap().class {
+            match world
+                .db
+                .lookup(Imei::from_u64(r.imei).unwrap())
+                .unwrap()
+                .class
+            {
                 DeviceClass::CellularWearable => wearable_tx += 1,
                 DeviceClass::Smartphone => phone_tx += 1,
                 other => panic!("unexpected device class {other}"),

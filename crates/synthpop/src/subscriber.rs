@@ -103,9 +103,7 @@ impl Subscriber {
 
     /// `true` if the wearable is owned (arrived, not churned) on `day`.
     pub fn owns_wearable_on(&self, day: u64) -> bool {
-        self.has_wearable()
-            && day >= self.arrival_day
-            && self.churn_day.map_or(true, |c| day < c)
+        self.has_wearable() && day >= self.arrival_day && self.churn_day.is_none_or(|c| day < c)
     }
 }
 

@@ -94,9 +94,7 @@ pub fn wearable_day_traffic<R: Rng + ?Sized>(
     // still surfaces most of the installed set.
     let n_installed = sub.installed_apps.len();
     let n_apps = (1 + dist::poisson(rng, cal.extra_apps_per_day) as usize).min(n_installed);
-    let primary = ((day
-        .wrapping_add(sub.user.raw()))
-        % n_installed as u64) as usize;
+    let primary = ((day.wrapping_add(sub.user.raw())) % n_installed as u64) as usize;
     let mut todays_apps: Vec<AppId> = vec![sub.installed_apps[primary]];
     if n_apps > 1 {
         let mut weights = vec![1.0; n_installed];
@@ -126,7 +124,8 @@ pub fn wearable_day_traffic<R: Rng + ?Sized>(
         for _ in 0..sessions {
             let app_id = todays_apps[dist::weighted_index(rng, &todays_weights)];
             let app = catalog.get(app_id).unwrap();
-            let start = u64::from(hour) * SECS_PER_HOUR + rng.random_range(0..(55 * SECS_PER_MINUTE));
+            let start =
+                u64::from(hour) * SECS_PER_HOUR + rng.random_range(0..(55 * SECS_PER_MINUTE));
             let ntx = dist::geometric_mean(rng, app.traffic.tx_per_usage.max(1.0)).min(60);
             let mut t = start;
             for _ in 0..ntx {
@@ -215,8 +214,8 @@ pub fn phone_day_traffic<R: Rng + ?Sized>(
     for _ in 0..n {
         let hour = dist::weighted_index(rng, weights) as u64;
         let sec = hour * SECS_PER_HOUR + rng.random_range(0..SECS_PER_HOUR);
-        let down = dist::lognormal_median(rng, sub.phone_bytes_median, cal.phone_bytes_sigma)
-            .max(200.0);
+        let down =
+            dist::lognormal_median(rng, sub.phone_bytes_median, cal.phone_bytes_sigma).max(200.0);
         let up = down * rng.random_range(0.05..0.20);
         out.push(TxDraft {
             sec_of_day: sec,
@@ -304,8 +303,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let cal = Calibration::default();
         let catalog = AppCatalog::standard();
-        let txs =
-            wearable_day_traffic(&mut rng, &sub(false, false), &cal, &catalog, 0, false, |_| true);
+        let txs = wearable_day_traffic(
+            &mut rng,
+            &sub(false, false),
+            &cal,
+            &catalog,
+            0,
+            false,
+            |_| true,
+        );
         assert!(txs.is_empty());
     }
 
@@ -347,9 +353,15 @@ mod tests {
         // "Home" is only before 8 am and after 6 pm.
         let at_home = |sec: u64| !(8 * SECS_PER_HOUR..18 * SECS_PER_HOUR).contains(&sec);
         for _ in 0..30 {
-            for tx in
-                wearable_day_traffic(&mut rng, &sub(true, true), &cal, &catalog, 0, false, at_home)
-            {
+            for tx in wearable_day_traffic(
+                &mut rng,
+                &sub(true, true),
+                &cal,
+                &catalog,
+                0,
+                false,
+                at_home,
+            ) {
                 let hour_mid = tx.sec_of_day / SECS_PER_HOUR * SECS_PER_HOUR + SECS_PER_HOUR / 2;
                 assert!(
                     at_home(hour_mid),
@@ -370,7 +382,9 @@ mod tests {
         let mut n = 0;
         for _ in 0..20 {
             for tx in
-                wearable_day_traffic(&mut rng, &sub(true, false), &cal, &catalog, 0, true, |_| true)
+                wearable_day_traffic(&mut rng, &sub(true, false), &cal, &catalog, 0, true, |_| {
+                    true
+                })
             {
                 assert!(
                     clf.classify(&tx.host).is_some(),
@@ -392,7 +406,9 @@ mod tests {
         let mut heavy = sub(true, false);
         heavy.phone_tx_per_day = 50.0;
         let count = |s: &Subscriber, rng: &mut StdRng| -> usize {
-            (0..40).map(|_| phone_day_traffic(rng, s, &cal, false).len()).sum()
+            (0..40)
+                .map(|_| phone_day_traffic(rng, s, &cal, false).len())
+                .sum()
         };
         let l = count(&light, &mut rng);
         let h = count(&heavy, &mut rng);
@@ -433,8 +449,15 @@ mod tests {
         let cal = Calibration::default();
         let catalog = AppCatalog::standard();
         for _ in 0..20 {
-            let txs =
-                wearable_day_traffic(&mut rng, &sub(true, false), &cal, &catalog, 0, false, |_| true);
+            let txs = wearable_day_traffic(
+                &mut rng,
+                &sub(true, false),
+                &cal,
+                &catalog,
+                0,
+                false,
+                |_| true,
+            );
             for w in txs.windows(2) {
                 assert!(w[0].sec_of_day <= w[1].sec_of_day);
             }

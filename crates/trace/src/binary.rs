@@ -155,8 +155,8 @@ impl BinaryRecord for MmeRecord {
             2 => MmeEvent::SectorUpdate,
             _ => return Err(BinaryError::Invalid("mme event")),
         };
-        let sector = u32::try_from(get_varint(buf)?)
-            .map_err(|_| BinaryError::Invalid("sector id"))?;
+        let sector =
+            u32::try_from(get_varint(buf)?).map_err(|_| BinaryError::Invalid("sector id"))?;
         Ok(MmeRecord {
             timestamp,
             user,
@@ -219,7 +219,11 @@ mod tests {
             user: UserId(1000 + i),
             imei: 352_000_011_234_564,
             host: format!("edge{i}.api.weather.com"),
-            scheme: if i % 2 == 0 { Scheme::Https } else { Scheme::Http },
+            scheme: if i.is_multiple_of(2) {
+                Scheme::Https
+            } else {
+                Scheme::Http
+            },
             bytes_down: 3_000 + i * 7,
             bytes_up: 300 + i,
         }
@@ -299,9 +303,8 @@ mod tests {
         // mismatched record — never a silent success of the same record).
         let original: Vec<ProxyRecord> = decode_all(Bytes::from(raw.clone())).unwrap();
         raw[12] = 0xFF;
-        match decode_all::<ProxyRecord>(Bytes::from(raw)) {
-            Ok(decoded) => assert_ne!(decoded, original),
-            Err(_) => {}
+        if let Ok(decoded) = decode_all::<ProxyRecord>(Bytes::from(raw)) {
+            assert_ne!(decoded, original)
         }
     }
 

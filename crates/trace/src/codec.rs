@@ -112,8 +112,8 @@ impl FieldWriter {
     /// Appends an unsigned integer field.
     pub fn u64(&mut self, v: u64) -> &mut Self {
         self.sep();
-        let mut buf = itoa(v);
-        self.line.push_str(&mut buf);
+        let buf = itoa(v);
+        self.line.push_str(&buf);
         self
     }
 
@@ -211,7 +211,15 @@ mod tests {
 
     #[test]
     fn escape_roundtrip_specials() {
-        for s in ["", "plain", "a\tb", "line\nbreak", "back\\slash", "\r\n\t\\", "ünïcodé"] {
+        for s in [
+            "",
+            "plain",
+            "a\tb",
+            "line\nbreak",
+            "back\\slash",
+            "\r\n\t\\",
+            "ünïcodé",
+        ] {
             let mut esc = String::new();
             escape_into(s, &mut esc);
             assert!(!esc.contains('\t') && !esc.contains('\n'));
@@ -254,7 +262,10 @@ mod tests {
         let mut r = FieldReader::new("abc", 1);
         assert_eq!(
             r.u64(),
-            Err(CodecError::BadField { index: 0, expected: "u64" })
+            Err(CodecError::BadField {
+                index: 0,
+                expected: "u64"
+            })
         );
     }
 

@@ -26,6 +26,7 @@ pub mod ids;
 pub mod io;
 pub mod mme;
 pub mod proxy;
+pub mod shard;
 pub mod store;
 
 pub use binary::{decode_all, encode_all, BinaryError, BinaryRecord};
@@ -34,4 +35,7 @@ pub use ids::UserId;
 pub use io::{LogReader, LogWriter};
 pub use mme::{MmeEvent, MmeRecord};
 pub use proxy::{ProxyRecord, Scheme};
+pub use shard::{
+    plan_binary_shards, plan_tsv_shards, read_binary_shard, read_tsv_shard, ByteRange, TsvShard,
+};
 pub use store::TraceStore;

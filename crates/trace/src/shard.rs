@@ -1,0 +1,359 @@
+//! Byte-range shard planning for persisted logs.
+//!
+//! Parallel ingestion needs to hand each worker a *self-contained* slice of
+//! a log file: one that starts and ends exactly on record boundaries, so the
+//! shards partition the file with no record lost, duplicated, or split.
+//! This module plans such shards for both on-disk codecs:
+//!
+//! * **TSV logs** ([`plan_tsv_shards`]): records are `\n`-terminated lines
+//!   and the codec escapes embedded newlines, so a boundary is valid iff it
+//!   sits immediately after a `\n` (or at EOF). The planner seeks to evenly
+//!   spaced tentative offsets and scans forward to the next newline.
+//! * **Binary archives** ([`plan_binary_shards`]): frames are
+//!   `[u16 len][payload]` with no resync marker, so boundaries can only be
+//!   found by walking the frame headers from the start. The walk reads two
+//!   bytes per frame and skips payloads, grouping frames into shards of
+//!   roughly equal byte size.
+//!
+//! [`read_tsv_shard`] / [`read_binary_shard`] then parse one planned range,
+//! reporting per-shard counters (records, bytes, malformed lines) that feed
+//! the ingest progress report.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use bytes::Bytes;
+
+use crate::binary::{decode_all, BinaryError, BinaryRecord};
+use crate::codec::{CodecError, TsvRecord};
+use crate::io::{LogReader, ReadError};
+
+/// A half-open byte range `[start, end)` of a log file, aligned to record
+/// boundaries by one of the planners.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ByteRange {
+    /// First byte of the shard.
+    pub start: u64,
+    /// One past the last byte of the shard.
+    pub end: u64,
+}
+
+impl ByteRange {
+    /// Number of bytes covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// `true` when the range covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Plans up to `max_shards` newline-aligned byte ranges over a TSV log.
+///
+/// The ranges are contiguous, non-overlapping, and cover the file exactly;
+/// every range starts at offset 0 or immediately after a `\n`. Files smaller
+/// than one byte per shard yield fewer (possibly one) shards. An empty file
+/// yields no shards.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn plan_tsv_shards(path: &Path, max_shards: usize) -> io::Result<Vec<ByteRange>> {
+    let file = File::open(path)?;
+    let len = file.metadata()?.len();
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    let shards = max_shards.max(1) as u64;
+    let target = len.div_ceil(shards);
+    let mut reader = BufReader::new(file);
+    let mut ranges = Vec::new();
+    let mut start = 0u64;
+    while start < len {
+        let tentative = (start + target).min(len);
+        let end = if tentative >= len {
+            len
+        } else {
+            // Scan forward from the tentative cut to the next newline; the
+            // shard ends just past it. A record longer than `target` simply
+            // produces an oversized shard.
+            reader.seek(SeekFrom::Start(tentative))?;
+            let mut skipped = Vec::new();
+            let n = reader.read_until(b'\n', &mut skipped)? as u64;
+            tentative + n
+        };
+        ranges.push(ByteRange { start, end });
+        start = end;
+    }
+    Ok(ranges)
+}
+
+/// Plans up to `max_shards` frame-aligned byte ranges over a binary archive
+/// (`[u16 len][payload]` frames, see [`crate::binary`]).
+///
+/// The codec has no resync marker, so the planner walks every frame header
+/// from the start of the file (reading two bytes and seeking past each
+/// payload) and groups whole frames into shards of roughly equal size.
+///
+/// # Errors
+/// Filesystem errors, or [`io::ErrorKind::InvalidData`] if the file ends
+/// inside a frame (a truncated archive cannot be partitioned safely).
+pub fn plan_binary_shards(path: &Path, max_shards: usize) -> io::Result<Vec<ByteRange>> {
+    let file = File::open(path)?;
+    let len = file.metadata()?.len();
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    let shards = max_shards.max(1) as u64;
+    let target = len.div_ceil(shards);
+    let mut reader = BufReader::new(file);
+    let mut ranges = Vec::new();
+    let mut start = 0u64;
+    let mut pos = 0u64;
+    let mut header = [0u8; 2];
+    while pos < len {
+        if len - pos < 2 {
+            return Err(truncated_frame(pos));
+        }
+        reader.read_exact(&mut header)?;
+        let payload = u64::from(u16::from_le_bytes(header));
+        if len - pos - 2 < payload {
+            return Err(truncated_frame(pos));
+        }
+        reader.seek_relative(payload as i64)?;
+        pos += 2 + payload;
+        if pos - start >= target {
+            ranges.push(ByteRange { start, end: pos });
+            start = pos;
+        }
+    }
+    if start < len {
+        ranges.push(ByteRange { start, end: len });
+    }
+    Ok(ranges)
+}
+
+fn truncated_frame(offset: u64) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("binary log ends inside a frame starting at byte {offset}"),
+    )
+}
+
+/// The parsed contents and counters of one TSV shard.
+#[derive(Debug, Default)]
+pub struct TsvShard<R> {
+    /// Successfully decoded records, in file order.
+    pub records: Vec<R>,
+    /// Bytes covered by the shard.
+    pub bytes: u64,
+    /// Malformed lines, as `(1-based line within the shard, error)`. The
+    /// caller decides whether any error is fatal; the legacy loader treats
+    /// the first one as such.
+    pub errors: Vec<(u64, CodecError)>,
+}
+
+/// Parses one planned TSV byte range.
+///
+/// The range must come from [`plan_tsv_shards`] (newline-aligned), so the
+/// slice is a whole number of lines. Malformed lines are counted and
+/// collected rather than aborting the shard, letting the parallel loader
+/// report totals before failing.
+///
+/// # Errors
+/// Propagates filesystem errors only.
+pub fn read_tsv_shard<R: TsvRecord>(path: &Path, range: ByteRange) -> io::Result<TsvShard<R>> {
+    let mut file = File::open(path)?;
+    file.seek(SeekFrom::Start(range.start))?;
+    let source = BufReader::new(file.take(range.len()));
+    let mut shard = TsvShard {
+        records: Vec::new(),
+        bytes: range.len(),
+        errors: Vec::new(),
+    };
+    for item in LogReader::<_, R>::new(source) {
+        match item {
+            Ok(record) => shard.records.push(record),
+            Err(ReadError::Codec { line, error }) => shard.errors.push((line, error)),
+            Err(ReadError::Io(e)) => return Err(e),
+        }
+    }
+    Ok(shard)
+}
+
+/// Parses one planned binary byte range.
+///
+/// The range must come from [`plan_binary_shards`] (frame-aligned).
+///
+/// # Errors
+/// Filesystem errors, or [`io::ErrorKind::InvalidData`] wrapping the
+/// [`BinaryError`] for malformed payloads.
+pub fn read_binary_shard<R: BinaryRecord>(path: &Path, range: ByteRange) -> io::Result<Vec<R>> {
+    let mut file = File::open(path)?;
+    file.seek(SeekFrom::Start(range.start))?;
+    let mut raw = vec![0u8; range.len() as usize];
+    file.read_exact(&mut raw)?;
+    decode_all(Bytes::from(raw))
+        .map_err(|e: BinaryError| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::encode_all;
+    use crate::ids::UserId;
+    use crate::io::LogWriter;
+    use crate::mme::{MmeEvent, MmeRecord};
+    use wearscope_simtime::SimTime;
+
+    fn mme(i: u64) -> MmeRecord {
+        MmeRecord {
+            timestamp: SimTime::from_secs(i * 13),
+            user: UserId(i % 7),
+            imei: 352_000_011_234_564,
+            event: MmeEvent::SectorUpdate,
+            sector: (i % 40) as u32,
+        }
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("wearscope-shard-{tag}-{}", std::process::id()))
+    }
+
+    fn assert_partition(ranges: &[ByteRange], len: u64) {
+        assert_eq!(ranges.first().map(|r| r.start), Some(0));
+        assert_eq!(ranges.last().map(|r| r.end), Some(len));
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "ranges must be contiguous");
+        }
+        assert!(ranges.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn tsv_shards_partition_exactly() {
+        let records: Vec<MmeRecord> = (0..500).map(mme).collect();
+        let path = temp_path("tsv");
+        let mut w = LogWriter::new(std::fs::File::create(&path).unwrap());
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        w.flush().unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+
+        for shards in [1, 2, 3, 7, 64, 10_000] {
+            let ranges = plan_tsv_shards(&path, shards).unwrap();
+            assert!(ranges.len() <= shards.max(1));
+            assert_partition(&ranges, len);
+            let mut all = Vec::new();
+            for r in &ranges {
+                let shard: TsvShard<MmeRecord> = read_tsv_shard(&path, *r).unwrap();
+                assert!(shard.errors.is_empty());
+                all.extend(shard.records);
+            }
+            assert_eq!(all, records, "{shards} shards lost or reordered records");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tsv_without_trailing_newline() {
+        let records: Vec<MmeRecord> = (0..20).map(mme).collect();
+        let mut text = String::new();
+        for r in &records {
+            text.push_str(&r.to_line());
+            text.push('\n');
+        }
+        text.pop(); // drop the final newline
+        let path = temp_path("tsv-notrail");
+        std::fs::write(&path, &text).unwrap();
+        let ranges = plan_tsv_shards(&path, 4).unwrap();
+        assert_partition(&ranges, text.len() as u64);
+        let mut all = Vec::new();
+        for r in &ranges {
+            all.extend(read_tsv_shard::<MmeRecord>(&path, *r).unwrap().records);
+        }
+        assert_eq!(all, records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tsv_empty_file_plans_nothing() {
+        let path = temp_path("tsv-empty");
+        std::fs::write(&path, "").unwrap();
+        assert!(plan_tsv_shards(&path, 8).unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tsv_shard_collects_malformed_lines() {
+        let good = mme(1).to_line();
+        let path = temp_path("tsv-bad");
+        std::fs::write(&path, format!("{good}\nnot a record\n{good}\n")).unwrap();
+        let ranges = plan_tsv_shards(&path, 1).unwrap();
+        let shard: TsvShard<MmeRecord> = read_tsv_shard(&path, ranges[0]).unwrap();
+        assert_eq!(shard.records.len(), 2);
+        assert_eq!(shard.errors.len(), 1);
+        assert_eq!(shard.errors[0].0, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn binary_shards_partition_exactly() {
+        let records: Vec<MmeRecord> = (0..500).map(mme).collect();
+        let encoded = encode_all(&records);
+        let path = temp_path("bin");
+        std::fs::write(&path, &encoded[..]).unwrap();
+
+        for shards in [1, 2, 5, 32] {
+            let ranges = plan_binary_shards(&path, shards).unwrap();
+            assert_partition(&ranges, encoded.len() as u64);
+            let mut all = Vec::new();
+            for r in &ranges {
+                all.extend(read_binary_shard::<MmeRecord>(&path, *r).unwrap());
+            }
+            assert_eq!(all, records);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn binary_truncated_frame_rejected() {
+        let records: Vec<MmeRecord> = (0..10).map(mme).collect();
+        let encoded = encode_all(&records);
+        let path = temp_path("bin-trunc");
+        // Cuts must land strictly inside a frame — a cut exactly on a frame
+        // boundary is a valid (shorter) archive by construction.
+        let first_frame = 2 + u16::from_le_bytes([encoded[0], encoded[1]]) as usize;
+        for cut in [1, first_frame + 1, encoded.len() - 1] {
+            std::fs::write(&path, &encoded[..cut]).unwrap();
+            let err = plan_binary_shards(&path, 4).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn binary_empty_file_plans_nothing() {
+        let path = temp_path("bin-empty");
+        std::fs::write(&path, b"").unwrap();
+        assert!(plan_binary_shards(&path, 3).unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn oversized_record_gets_own_shard() {
+        // One line far larger than the per-shard target must stay whole.
+        let path = temp_path("tsv-long");
+        let good = mme(1).to_line();
+        let huge = "x".repeat(4096);
+        std::fs::write(&path, format!("{good}\n{huge}\n{good}\n")).unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        let ranges = plan_tsv_shards(&path, 100).unwrap();
+        assert_partition(&ranges, len);
+        // The huge line sits entirely inside one shard.
+        assert!(ranges.iter().any(|r| r.len() > 4096));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

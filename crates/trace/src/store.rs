@@ -73,8 +73,13 @@ impl TraceStore {
 
     /// `true` if both logs are time-ordered.
     pub fn is_time_sorted(&self) -> bool {
-        self.proxy.windows(2).all(|w| w[0].timestamp <= w[1].timestamp)
-            && self.mme.windows(2).all(|w| w[0].timestamp <= w[1].timestamp)
+        self.proxy
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp)
+            && self
+                .mme
+                .windows(2)
+                .all(|w| w[0].timestamp <= w[1].timestamp)
     }
 
     /// Merges another store into this one, re-sorting.

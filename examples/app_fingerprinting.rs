@@ -75,9 +75,13 @@ fn main() {
 
     let sessions = sessionize(&attributed);
     println!("\n== sessionization (1-minute gap) ==");
-    println!("{} sessions from {} attributed transactions", sessions.len(), total - orphans);
-    let mean_tx = sessions.iter().map(|s| s.transactions).sum::<u64>() as f64
-        / sessions.len().max(1) as f64;
+    println!(
+        "{} sessions from {} attributed transactions",
+        sessions.len(),
+        total - orphans
+    );
+    let mean_tx =
+        sessions.iter().map(|s| s.transactions).sum::<u64>() as f64 / sessions.len().max(1) as f64;
     println!("mean transactions per usage: {mean_tx:.1}");
 
     // --- 3. The Androlyzer step: learn signatures in a simulated lab ----------
@@ -129,8 +133,10 @@ fn main() {
         }
     }
     let learned = learner.learn();
-    println!("
-== Androlyzer-style signature learning (simulated lab) ==");
+    println!(
+        "
+== Androlyzer-style signature learning (simulated lab) =="
+    );
     println!(
         "{} observations → {} learned suffix signatures",
         learner.len(),
@@ -162,8 +168,8 @@ fn main() {
         .iter()
         .map(|(name, bytes)| {
             let total: u64 = bytes.iter().sum();
-            let third = bytes[DomainClass::Advertising.index()]
-                + bytes[DomainClass::Analytics.index()];
+            let third =
+                bytes[DomainClass::Advertising.index()] + bytes[DomainClass::Analytics.index()];
             (
                 name.clone(),
                 total as f64 / 1024.0,

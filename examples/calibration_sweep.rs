@@ -43,13 +43,19 @@ fn main() {
         let mut config = base_config(101);
         config.calibration.data_active_fraction = target;
         let m = measure(&config);
-        t.row(vec![format!("{target:.2}"), format!("{:.3}", m.data_active_share)]);
+        t.row(vec![
+            format!("{target:.2}"),
+            format!("{:.3}", m.data_active_share),
+        ]);
     }
     println!("== Sec 4.1: data-active share tracks the adoption knob ==");
     print!("{}", t.render());
 
     // --- Knob 2: home_user_share → measured single-location share ------------
-    let mut t = Table::new(vec!["configured home-user share", "measured single-location"]);
+    let mut t = Table::new(vec![
+        "configured home-user share",
+        "measured single-location",
+    ]);
     for target in [0.30, 0.60, 0.90] {
         let mut config = base_config(202);
         config.calibration.home_user_share = target;
@@ -75,7 +81,10 @@ fn main() {
         t.row(vec![
             format!("{target:.0}"),
             format!("{:.1}", m.owner_displacement_km),
-            format!("{:.2}", m.owner_displacement_km / m.rest_displacement_km.max(0.01)),
+            format!(
+                "{:.2}",
+                m.owner_displacement_km / m.rest_displacement_km.max(0.01)
+            ),
         ]);
     }
     println!("\n== Sec 4.4: displacement tracks the commute knob ==");

@@ -13,8 +13,8 @@ use wearscope::core::activity::{
 use wearscope::core::adoption::{AdoptionTrend, CohortRetention, DataActiveShare};
 use wearscope::core::apps::{AppPopularity, AppUsage, CategoryPopularity};
 use wearscope::core::compare::{self, OwnerVsRest, WearableShare};
-use wearscope::core::mobility::{Displacement, LocationEntropy, MobilityActivity, MobilityIndex};
 use wearscope::core::devices::DeviceMix;
+use wearscope::core::mobility::{Displacement, LocationEntropy, MobilityActivity, MobilityIndex};
 use wearscope::core::sessions::{self, PerUsage};
 use wearscope::core::thirdparty::DomainBreakdown;
 use wearscope::core::through_device::ThroughDeviceReport;
@@ -69,7 +69,10 @@ fn main() {
         100.0 * trend.total_growth
     );
     let retention = CohortRetention::compute(&world.summaries.mme, &ctx.window);
-    println!("\n== Fig. 2(b): first-week cohort ({} users) ==", retention.first_week_users);
+    println!(
+        "\n== Fig. 2(b): first-week cohort ({} users) ==",
+        retention.first_week_users
+    );
     println!(
         "still active: {:.0}% (paper 77%) | gone: {:.0}% (paper 7%) | intermittent: {:.0}%",
         100.0 * retention.active_fraction,
@@ -90,7 +93,10 @@ fn main() {
 
     // ---- Sec. 4.1: device mix ----------------------------------------------
     let mix = DeviceMix::compute(&ctx);
-    println!("\n== Sec. 4.1: wearable device mix ({} users) ==", mix.total_users);
+    println!(
+        "\n== Sec. 4.1: wearable device mix ({} users) ==",
+        mix.total_users
+    );
     let mut t = Table::new(vec!["model", "users"]);
     for (model, n) in mix.ranked_models() {
         t.row(vec![model.to_string(), n.to_string()]);
@@ -192,7 +198,9 @@ fn main() {
     // ---- Fig. 5/6/7: apps ----------------------------------------------------
     let attributed = sessions::attribute_transactions(&ctx);
     let popularity = AppPopularity::compute(&attributed);
-    println!("\n== Fig. 5(a): app popularity (top 20 by daily associated users, % of daily total) ==");
+    println!(
+        "\n== Fig. 5(a): app popularity (top 20 by daily associated users, % of daily total) =="
+    );
     let rows: Vec<(String, f64)> = popularity
         .rank
         .iter()
@@ -225,13 +233,25 @@ fn main() {
 
     let cats = CategoryPopularity::compute(&ctx, &popularity, &usage);
     println!("\n== Fig. 6: category shares (% of daily total) ==");
-    let mut t = Table::new(vec!["category", "users", "frequency", "transactions", "data"]);
+    let mut t = Table::new(vec![
+        "category",
+        "users",
+        "frequency",
+        "transactions",
+        "data",
+    ]);
     for (cat, users) in CategoryPopularity::ranked(&cats.users) {
         t.row(vec![
             cat.name().to_string(),
             format!("{:.2}", 100.0 * users),
-            format!("{:.2}", 100.0 * cats.frequency.get(&cat).copied().unwrap_or(0.0)),
-            format!("{:.2}", 100.0 * cats.transactions.get(&cat).copied().unwrap_or(0.0)),
+            format!(
+                "{:.2}",
+                100.0 * cats.frequency.get(&cat).copied().unwrap_or(0.0)
+            ),
+            format!(
+                "{:.2}",
+                100.0 * cats.transactions.get(&cat).copied().unwrap_or(0.0)
+            ),
             format!("{:.2}", 100.0 * cats.data.get(&cat).copied().unwrap_or(0.0)),
         ]);
     }

@@ -31,7 +31,11 @@ fn main() {
     let report = ThroughDeviceReport::compute(&ctx, &mobility);
 
     println!("== fingerprinting from smartphone proxy traffic ==");
-    let mut t = Table::new(vec!["tracker kind", "identified users", "signature example"]);
+    let mut t = Table::new(vec![
+        "tracker kind",
+        "identified users",
+        "signature example",
+    ]);
     for kind in ThroughDeviceKind::ALL {
         let example = wearscope::appdb::fingerprints::SIGNATURES
             .iter()
@@ -40,7 +44,11 @@ fn main() {
             .unwrap_or("-");
         t.row(vec![
             kind.name().to_string(),
-            report.identified.get(&kind).map_or(0, |s| s.len()).to_string(),
+            report
+                .identified
+                .get(&kind)
+                .map_or(0, |s| s.len())
+                .to_string(),
             example.to_string(),
         ]);
     }
@@ -71,7 +79,10 @@ fn main() {
         .of_kind(SubscriberKind::ThroughDeviceOwner)
         .count();
     println!("\n== validation against simulator ground truth ==");
-    println!("fingerprintable owners (truth): {} of {total_through} Through-Device users", truth.len());
+    println!(
+        "fingerprintable owners (truth): {} of {total_through} Through-Device users",
+        truth.len()
+    );
     println!("precision {precision:.2}  recall {recall:.2}");
     println!(
         "coverage of all Through-Device users: {:.0}% (paper estimates ~16%)",

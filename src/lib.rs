@@ -38,6 +38,7 @@
 //! | [`mobilenet`] | MME + transparent proxy simulator |
 //! | [`synthpop`] | calibrated population & behaviour generators |
 //! | [`core`] | the analysis pipeline (the paper's contribution) |
+//! | [`ingest`] | sharded parallel ingestion & mergeable-aggregate engine |
 //! | [`report`] | tables, CSV export, paper-vs-measured comparison |
 
 #![warn(missing_docs)]
@@ -47,6 +48,7 @@ pub use wearscope_appdb as appdb;
 pub use wearscope_core as core;
 pub use wearscope_devicedb as devicedb;
 pub use wearscope_geo as geo;
+pub use wearscope_ingest as ingest;
 pub use wearscope_mobilenet as mobilenet;
 pub use wearscope_report as report;
 pub use wearscope_simtime as simtime;
@@ -60,6 +62,7 @@ pub mod prelude {
     pub use wearscope_core::StudyContext;
     pub use wearscope_devicedb::{DeviceClass, DeviceDb, Imei};
     pub use wearscope_geo::{CountryLayout, SectorDirectory};
+    pub use wearscope_ingest::IngestEngine;
     pub use wearscope_mobilenet::{MobileNetwork, NetworkEvent};
     pub use wearscope_simtime::{ObservationWindow, SimDuration, SimTime, TimeRange};
     pub use wearscope_synthpop::{generate, Calibration, GeneratedWorld, ScenarioConfig};

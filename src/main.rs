@@ -15,6 +15,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use wearscope::core::takeaways::Takeaways;
+use wearscope::ingest::IngestEngine;
 use wearscope::prelude::*;
 use wearscope::report::{figures::FigureCsvExporter, render_full_report, ExperimentReport};
 use wearscope::synthpop::SavedWorld;
@@ -45,7 +46,7 @@ wearscope — reproduction of 'A First Look at SIM-Enabled Wearables in the Wild
 
 USAGE:
     wearscope generate   --out DIR [--seed N] [--scale quick|compact|paper]
-    wearscope analyze    --world DIR [--full] [--csv DIR]
+    wearscope analyze    --world DIR [--full] [--csv DIR] [--workers N]
     wearscope experiments [--seed N] [--scale quick|compact|paper]
 
 COMMANDS:
@@ -60,6 +61,8 @@ OPTIONS:
     --world DIR  directory written by generate
     --full       print the complete per-figure report, not just the table
     --csv DIR    also export every figure's data series as CSV files
+    --workers N  parallel ingest workers (default: all CPUs; 1 = sequential).
+                 Results are bit-identical for every N
 ";
 
 /// Parses `--flag value` pairs.
@@ -120,25 +123,62 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let dir = PathBuf::from(flag(args, "--world")?.ok_or("analyze requires --world DIR")?);
-    let saved = SavedWorld::load_dir(&dir)?;
+    let workers: usize = match flag(args, "--workers")? {
+        Some(s) => s.parse().map_err(|_| format!("bad worker count `{s}`"))?,
+        None => wearscope::ingest::default_workers(),
+    };
+    let loading = |e: std::io::Error| format!("loading {}: {e}", dir.display());
+
+    // --workers 1 takes the sequential path; N > 1 loads the logs by
+    // byte-range shards and folds the aggregates on a worker pool. Both
+    // produce bit-identical reports and figure CSVs.
+    let mut load_report = None;
+    let saved = if workers > 1 {
+        let (store, report) =
+            wearscope::ingest::load_store_parallel(&dir, workers).map_err(loading)?;
+        load_report = Some(report);
+        GeneratedWorld::load_with_store(&dir, store).map_err(loading)?
+    } else {
+        SavedWorld::load_dir(&dir)?
+    };
     let db = DeviceDb::standard();
     let catalog = AppCatalog::standard();
     let ctx = StudyContext::new(&saved.store, &db, &saved.sectors, &catalog, saved.window);
+
+    let aggs = if workers > 1 {
+        let (aggs, compute_report) = IngestEngine::new(workers).compute(&ctx);
+        if let Some(r) = &load_report {
+            eprintln!("load:    {}", r.summary_line());
+        }
+        eprintln!("analyze: {}", compute_report.summary_line());
+        Some(aggs)
+    } else {
+        None
+    };
+
     if args.iter().any(|a| a == "--full") {
         print!("{}", render_full_report(&ctx, &saved.summaries));
         println!();
     }
-    let takeaways = Takeaways::compute(&ctx, &saved.summaries);
-    let report = ExperimentReport::from_takeaways_with_window(
-        &takeaways,
-        saved.window.summary().num_days(),
-    );
+    let takeaways = match &aggs {
+        Some(a) => Takeaways::compute_with(&ctx, &saved.summaries, a),
+        None => Takeaways::compute(&ctx, &saved.summaries),
+    };
+    let report =
+        ExperimentReport::from_takeaways_with_window(&takeaways, saved.window.summary().num_days());
     print!("{}", report.render());
     if let Some(csv_dir) = flag(args, "--csv")? {
         let csv_dir = PathBuf::from(csv_dir);
-        let exporter = FigureCsvExporter::new(&ctx, &saved.summaries);
+        let exporter = match &aggs {
+            Some(a) => FigureCsvExporter::with_aggregates(&ctx, &saved.summaries, a),
+            None => FigureCsvExporter::new(&ctx, &saved.summaries),
+        };
         let written = exporter.export_all(&csv_dir).map_err(|e| e.to_string())?;
-        println!("\n{} CSV figure files written to {}", written, csv_dir.display());
+        println!(
+            "\n{} CSV figure files written to {}",
+            written,
+            csv_dir.display()
+        );
     }
     Ok(())
 }
@@ -166,6 +206,17 @@ fn cmd_experiments(args: &[String]) -> Result<(), String> {
     );
     print!("{}", report.render());
     Ok(())
+}
+
+/// Thin trait-like shim so `analyze` reads like the library API.
+trait LoadDir: Sized {
+    fn load_dir(dir: &std::path::Path) -> Result<Self, String>;
+}
+
+impl LoadDir for SavedWorld {
+    fn load_dir(dir: &std::path::Path) -> Result<Self, String> {
+        GeneratedWorld::load(dir).map_err(|e| format!("loading {}: {e}", dir.display()))
+    }
 }
 
 #[cfg(test)]
@@ -208,16 +259,5 @@ mod tests {
     #[test]
     fn analyze_rejects_missing_world() {
         assert!(cmd_analyze(&args(&["--world", "/nonexistent-wearscope-dir"])).is_err());
-    }
-}
-
-/// Thin trait-like shim so `analyze` reads like the library API.
-trait LoadDir: Sized {
-    fn load_dir(dir: &std::path::Path) -> Result<Self, String>;
-}
-
-impl LoadDir for SavedWorld {
-    fn load_dir(dir: &std::path::Path) -> Result<Self, String> {
-        GeneratedWorld::load(dir).map_err(|e| format!("loading {}: {e}", dir.display()))
     }
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration_tracking-311da1049a7b524a.d: tests/calibration_tracking.rs
+
+/root/repo/target/debug/deps/calibration_tracking-311da1049a7b524a: tests/calibration_tracking.rs
+
+tests/calibration_tracking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration_tracking-c46faa5291417b9d.d: tests/calibration_tracking.rs
+
+/root/repo/target/debug/deps/calibration_tracking-c46faa5291417b9d: tests/calibration_tracking.rs
+
+tests/calibration_tracking.rs:

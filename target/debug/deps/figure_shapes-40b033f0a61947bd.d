@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_shapes-40b033f0a61947bd.d: tests/figure_shapes.rs
+
+/root/repo/target/debug/deps/figure_shapes-40b033f0a61947bd: tests/figure_shapes.rs
+
+tests/figure_shapes.rs:

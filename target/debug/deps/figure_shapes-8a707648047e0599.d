@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_shapes-8a707648047e0599.d: tests/figure_shapes.rs
+
+/root/repo/target/debug/deps/figure_shapes-8a707648047e0599: tests/figure_shapes.rs
+
+tests/figure_shapes.rs:

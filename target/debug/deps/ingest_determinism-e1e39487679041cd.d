@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ingest_determinism-e1e39487679041cd.d: tests/ingest_determinism.rs
+
+/root/repo/target/debug/deps/ingest_determinism-e1e39487679041cd: tests/ingest_determinism.rs
+
+tests/ingest_determinism.rs:

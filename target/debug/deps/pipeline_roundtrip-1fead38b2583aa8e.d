@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_roundtrip-1fead38b2583aa8e.d: tests/pipeline_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_roundtrip-1fead38b2583aa8e.rmeta: tests/pipeline_roundtrip.rs Cargo.toml
+
+tests/pipeline_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_roundtrip-b224f4118dfcfd87.d: tests/pipeline_roundtrip.rs
+
+/root/repo/target/debug/deps/pipeline_roundtrip-b224f4118dfcfd87: tests/pipeline_roundtrip.rs
+
+tests/pipeline_roundtrip.rs:

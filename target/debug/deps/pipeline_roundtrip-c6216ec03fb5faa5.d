@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_roundtrip-c6216ec03fb5faa5.d: tests/pipeline_roundtrip.rs
+
+/root/repo/target/debug/deps/pipeline_roundtrip-c6216ec03fb5faa5: tests/pipeline_roundtrip.rs
+
+tests/pipeline_roundtrip.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-26814b7f28ec8240.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-26814b7f28ec8240.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-26814b7f28ec8240.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

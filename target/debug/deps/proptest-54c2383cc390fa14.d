@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-54c2383cc390fa14.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-54c2383cc390fa14: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-242f68e7de6c386e.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-242f68e7de6c386e: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2aef4f43e671e1b5.d: crates/mobilenet/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2aef4f43e671e1b5: crates/mobilenet/tests/proptests.rs
+
+crates/mobilenet/tests/proptests.rs:

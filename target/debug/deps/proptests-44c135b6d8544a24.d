@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-44c135b6d8544a24.d: crates/simtime/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-44c135b6d8544a24: crates/simtime/tests/proptests.rs
+
+crates/simtime/tests/proptests.rs:

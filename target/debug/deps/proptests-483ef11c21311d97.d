@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-483ef11c21311d97.d: crates/synthpop/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-483ef11c21311d97: crates/synthpop/tests/proptests.rs
+
+crates/synthpop/tests/proptests.rs:

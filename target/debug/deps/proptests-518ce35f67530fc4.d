@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-518ce35f67530fc4.d: crates/devicedb/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-518ce35f67530fc4.rmeta: crates/devicedb/tests/proptests.rs Cargo.toml
+
+crates/devicedb/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-6f06ee9746b659df.d: crates/geo/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-6f06ee9746b659df.rmeta: crates/geo/tests/proptests.rs Cargo.toml
+
+crates/geo/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

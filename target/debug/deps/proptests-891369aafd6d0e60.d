@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-891369aafd6d0e60.d: crates/appdb/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-891369aafd6d0e60.rmeta: crates/appdb/tests/proptests.rs Cargo.toml
+
+crates/appdb/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

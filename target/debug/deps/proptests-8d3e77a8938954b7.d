@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-8d3e77a8938954b7.d: crates/mobilenet/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-8d3e77a8938954b7.rmeta: crates/mobilenet/tests/proptests.rs Cargo.toml
+
+crates/mobilenet/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-ac9a7154b010d65f.d: crates/trace/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-ac9a7154b010d65f.rmeta: crates/trace/tests/proptests.rs Cargo.toml
+
+crates/trace/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

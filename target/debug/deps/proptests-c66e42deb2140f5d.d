@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c66e42deb2140f5d.d: crates/geo/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c66e42deb2140f5d: crates/geo/tests/proptests.rs
+
+crates/geo/tests/proptests.rs:

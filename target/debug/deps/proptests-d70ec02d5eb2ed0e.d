@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d70ec02d5eb2ed0e.d: crates/appdb/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d70ec02d5eb2ed0e: crates/appdb/tests/proptests.rs
+
+crates/appdb/tests/proptests.rs:

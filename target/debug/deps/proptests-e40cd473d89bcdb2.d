@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-e40cd473d89bcdb2.d: crates/synthpop/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e40cd473d89bcdb2.rmeta: crates/synthpop/tests/proptests.rs Cargo.toml
+
+crates/synthpop/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e913d1add61da794.d: crates/trace/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e913d1add61da794: crates/trace/tests/proptests.rs
+
+crates/trace/tests/proptests.rs:

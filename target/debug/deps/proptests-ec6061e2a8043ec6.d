@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ec6061e2a8043ec6.d: crates/devicedb/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ec6061e2a8043ec6: crates/devicedb/tests/proptests.rs
+
+crates/devicedb/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-f296eea930f583f2.d: crates/simtime/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-f296eea930f583f2.rmeta: crates/simtime/tests/proptests.rs Cargo.toml
+
+crates/simtime/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

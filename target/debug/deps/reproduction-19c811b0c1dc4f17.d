@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction-19c811b0c1dc4f17.d: tests/reproduction.rs
+
+/root/repo/target/debug/deps/reproduction-19c811b0c1dc4f17: tests/reproduction.rs
+
+tests/reproduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction-4e94cd31d9d39038.d: tests/reproduction.rs
+
+/root/repo/target/debug/deps/reproduction-4e94cd31d9d39038: tests/reproduction.rs
+
+tests/reproduction.rs:

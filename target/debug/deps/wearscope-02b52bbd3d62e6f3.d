@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wearscope-02b52bbd3d62e6f3.d: src/main.rs
+
+/root/repo/target/debug/deps/wearscope-02b52bbd3d62e6f3: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wearscope-2f2b7010158d6940.d: src/main.rs
+
+/root/repo/target/debug/deps/wearscope-2f2b7010158d6940: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wearscope-af7a2f7d0454fbc9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwearscope-af7a2f7d0454fbc9.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwearscope-af7a2f7d0454fbc9.rmeta: src/lib.rs
+
+src/lib.rs:

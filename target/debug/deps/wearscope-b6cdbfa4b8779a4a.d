@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wearscope-b6cdbfa4b8779a4a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwearscope-b6cdbfa4b8779a4a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwearscope-b6cdbfa4b8779a4a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wearscope-b70787f46f9378cf.d: src/main.rs
+
+/root/repo/target/debug/deps/wearscope-b70787f46f9378cf: src/main.rs
+
+src/main.rs:

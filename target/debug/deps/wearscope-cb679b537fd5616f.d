@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wearscope-cb679b537fd5616f.d: src/main.rs
+
+/root/repo/target/debug/deps/wearscope-cb679b537fd5616f: src/main.rs
+
+src/main.rs:

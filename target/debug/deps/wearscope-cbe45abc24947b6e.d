@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wearscope-cbe45abc24947b6e.d: src/lib.rs
+
+/root/repo/target/debug/deps/wearscope-cbe45abc24947b6e: src/lib.rs
+
+src/lib.rs:

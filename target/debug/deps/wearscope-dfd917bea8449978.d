@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wearscope-dfd917bea8449978.d: src/lib.rs
+
+/root/repo/target/debug/deps/wearscope-dfd917bea8449978: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/wearscope_appdb-1f48cb9d003711e8.d: crates/appdb/src/lib.rs crates/appdb/src/apps.rs crates/appdb/src/catalog.rs crates/appdb/src/category.rs crates/appdb/src/classify.rs crates/appdb/src/domains.rs crates/appdb/src/fingerprints.rs crates/appdb/src/learn.rs
+
+/root/repo/target/debug/deps/wearscope_appdb-1f48cb9d003711e8: crates/appdb/src/lib.rs crates/appdb/src/apps.rs crates/appdb/src/catalog.rs crates/appdb/src/category.rs crates/appdb/src/classify.rs crates/appdb/src/domains.rs crates/appdb/src/fingerprints.rs crates/appdb/src/learn.rs
+
+crates/appdb/src/lib.rs:
+crates/appdb/src/apps.rs:
+crates/appdb/src/catalog.rs:
+crates/appdb/src/category.rs:
+crates/appdb/src/classify.rs:
+crates/appdb/src/domains.rs:
+crates/appdb/src/fingerprints.rs:
+crates/appdb/src/learn.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/wearscope_appdb-4b3843380058a76f.d: crates/appdb/src/lib.rs crates/appdb/src/apps.rs crates/appdb/src/catalog.rs crates/appdb/src/category.rs crates/appdb/src/classify.rs crates/appdb/src/domains.rs crates/appdb/src/fingerprints.rs crates/appdb/src/learn.rs
+
+/root/repo/target/debug/deps/libwearscope_appdb-4b3843380058a76f.rlib: crates/appdb/src/lib.rs crates/appdb/src/apps.rs crates/appdb/src/catalog.rs crates/appdb/src/category.rs crates/appdb/src/classify.rs crates/appdb/src/domains.rs crates/appdb/src/fingerprints.rs crates/appdb/src/learn.rs
+
+/root/repo/target/debug/deps/libwearscope_appdb-4b3843380058a76f.rmeta: crates/appdb/src/lib.rs crates/appdb/src/apps.rs crates/appdb/src/catalog.rs crates/appdb/src/category.rs crates/appdb/src/classify.rs crates/appdb/src/domains.rs crates/appdb/src/fingerprints.rs crates/appdb/src/learn.rs
+
+crates/appdb/src/lib.rs:
+crates/appdb/src/apps.rs:
+crates/appdb/src/catalog.rs:
+crates/appdb/src/category.rs:
+crates/appdb/src/classify.rs:
+crates/appdb/src/domains.rs:
+crates/appdb/src/fingerprints.rs:
+crates/appdb/src/learn.rs:

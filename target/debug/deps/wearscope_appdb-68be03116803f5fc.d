@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/wearscope_appdb-68be03116803f5fc.d: crates/appdb/src/lib.rs crates/appdb/src/apps.rs crates/appdb/src/catalog.rs crates/appdb/src/category.rs crates/appdb/src/classify.rs crates/appdb/src/domains.rs crates/appdb/src/fingerprints.rs crates/appdb/src/learn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwearscope_appdb-68be03116803f5fc.rmeta: crates/appdb/src/lib.rs crates/appdb/src/apps.rs crates/appdb/src/catalog.rs crates/appdb/src/category.rs crates/appdb/src/classify.rs crates/appdb/src/domains.rs crates/appdb/src/fingerprints.rs crates/appdb/src/learn.rs Cargo.toml
+
+crates/appdb/src/lib.rs:
+crates/appdb/src/apps.rs:
+crates/appdb/src/catalog.rs:
+crates/appdb/src/category.rs:
+crates/appdb/src/classify.rs:
+crates/appdb/src/domains.rs:
+crates/appdb/src/fingerprints.rs:
+crates/appdb/src/learn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

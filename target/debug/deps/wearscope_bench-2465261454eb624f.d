@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wearscope_bench-2465261454eb624f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwearscope_bench-2465261454eb624f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwearscope_bench-2465261454eb624f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wearscope_bench-4013b03ff47cfb1e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwearscope_bench-4013b03ff47cfb1e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwearscope_bench-4013b03ff47cfb1e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wearscope_bench-80f759755fb5738f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/wearscope_bench-80f759755fb5738f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wearscope_bench-c3bb4bbc13c51154.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/wearscope_bench-c3bb4bbc13c51154: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/wearscope_devicedb-078bc9d5675ec958.d: crates/devicedb/src/lib.rs crates/devicedb/src/catalog.rs crates/devicedb/src/db.rs crates/devicedb/src/imei.rs
+
+/root/repo/target/debug/deps/libwearscope_devicedb-078bc9d5675ec958.rlib: crates/devicedb/src/lib.rs crates/devicedb/src/catalog.rs crates/devicedb/src/db.rs crates/devicedb/src/imei.rs
+
+/root/repo/target/debug/deps/libwearscope_devicedb-078bc9d5675ec958.rmeta: crates/devicedb/src/lib.rs crates/devicedb/src/catalog.rs crates/devicedb/src/db.rs crates/devicedb/src/imei.rs
+
+crates/devicedb/src/lib.rs:
+crates/devicedb/src/catalog.rs:
+crates/devicedb/src/db.rs:
+crates/devicedb/src/imei.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/wearscope_devicedb-5b04d160ca9fe543.d: crates/devicedb/src/lib.rs crates/devicedb/src/catalog.rs crates/devicedb/src/db.rs crates/devicedb/src/imei.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwearscope_devicedb-5b04d160ca9fe543.rmeta: crates/devicedb/src/lib.rs crates/devicedb/src/catalog.rs crates/devicedb/src/db.rs crates/devicedb/src/imei.rs Cargo.toml
+
+crates/devicedb/src/lib.rs:
+crates/devicedb/src/catalog.rs:
+crates/devicedb/src/db.rs:
+crates/devicedb/src/imei.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/wearscope_devicedb-8e0bc8f350d62872.d: crates/devicedb/src/lib.rs crates/devicedb/src/catalog.rs crates/devicedb/src/db.rs crates/devicedb/src/imei.rs
+
+/root/repo/target/debug/deps/wearscope_devicedb-8e0bc8f350d62872: crates/devicedb/src/lib.rs crates/devicedb/src/catalog.rs crates/devicedb/src/db.rs crates/devicedb/src/imei.rs
+
+crates/devicedb/src/lib.rs:
+crates/devicedb/src/catalog.rs:
+crates/devicedb/src/db.rs:
+crates/devicedb/src/imei.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/wearscope_geo-1663b6fe023ef81c.d: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/layout.rs crates/geo/src/point.rs crates/geo/src/sectors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwearscope_geo-1663b6fe023ef81c.rmeta: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/layout.rs crates/geo/src/point.rs crates/geo/src/sectors.rs Cargo.toml
+
+crates/geo/src/lib.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/layout.rs:
+crates/geo/src/point.rs:
+crates/geo/src/sectors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

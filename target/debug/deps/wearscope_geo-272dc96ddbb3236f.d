@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wearscope_geo-272dc96ddbb3236f.d: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/layout.rs crates/geo/src/point.rs crates/geo/src/sectors.rs
+
+/root/repo/target/debug/deps/wearscope_geo-272dc96ddbb3236f: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/layout.rs crates/geo/src/point.rs crates/geo/src/sectors.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/layout.rs:
+crates/geo/src/point.rs:
+crates/geo/src/sectors.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wearscope_geo-a5309d58815e96d4.d: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/layout.rs crates/geo/src/point.rs crates/geo/src/sectors.rs
+
+/root/repo/target/debug/deps/libwearscope_geo-a5309d58815e96d4.rlib: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/layout.rs crates/geo/src/point.rs crates/geo/src/sectors.rs
+
+/root/repo/target/debug/deps/libwearscope_geo-a5309d58815e96d4.rmeta: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/layout.rs crates/geo/src/point.rs crates/geo/src/sectors.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/layout.rs:
+crates/geo/src/point.rs:
+crates/geo/src/sectors.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/wearscope_ingest-de72679267ad7c05.d: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/load.rs crates/ingest/src/sharder.rs
+
+/root/repo/target/debug/deps/libwearscope_ingest-de72679267ad7c05.rlib: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/load.rs crates/ingest/src/sharder.rs
+
+/root/repo/target/debug/deps/libwearscope_ingest-de72679267ad7c05.rmeta: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/load.rs crates/ingest/src/sharder.rs
+
+crates/ingest/src/lib.rs:
+crates/ingest/src/engine.rs:
+crates/ingest/src/load.rs:
+crates/ingest/src/sharder.rs:

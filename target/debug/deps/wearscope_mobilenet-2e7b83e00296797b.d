@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/wearscope_mobilenet-2e7b83e00296797b.d: crates/mobilenet/src/lib.rs crates/mobilenet/src/event.rs crates/mobilenet/src/mme.rs crates/mobilenet/src/network.rs crates/mobilenet/src/proxy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwearscope_mobilenet-2e7b83e00296797b.rmeta: crates/mobilenet/src/lib.rs crates/mobilenet/src/event.rs crates/mobilenet/src/mme.rs crates/mobilenet/src/network.rs crates/mobilenet/src/proxy.rs Cargo.toml
+
+crates/mobilenet/src/lib.rs:
+crates/mobilenet/src/event.rs:
+crates/mobilenet/src/mme.rs:
+crates/mobilenet/src/network.rs:
+crates/mobilenet/src/proxy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wearscope_mobilenet-7df3b9da2c7ee646.d: crates/mobilenet/src/lib.rs crates/mobilenet/src/event.rs crates/mobilenet/src/mme.rs crates/mobilenet/src/network.rs crates/mobilenet/src/proxy.rs
+
+/root/repo/target/debug/deps/wearscope_mobilenet-7df3b9da2c7ee646: crates/mobilenet/src/lib.rs crates/mobilenet/src/event.rs crates/mobilenet/src/mme.rs crates/mobilenet/src/network.rs crates/mobilenet/src/proxy.rs
+
+crates/mobilenet/src/lib.rs:
+crates/mobilenet/src/event.rs:
+crates/mobilenet/src/mme.rs:
+crates/mobilenet/src/network.rs:
+crates/mobilenet/src/proxy.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wearscope_mobilenet-fae22e1e46e11ddd.d: crates/mobilenet/src/lib.rs crates/mobilenet/src/event.rs crates/mobilenet/src/mme.rs crates/mobilenet/src/network.rs crates/mobilenet/src/proxy.rs
+
+/root/repo/target/debug/deps/libwearscope_mobilenet-fae22e1e46e11ddd.rlib: crates/mobilenet/src/lib.rs crates/mobilenet/src/event.rs crates/mobilenet/src/mme.rs crates/mobilenet/src/network.rs crates/mobilenet/src/proxy.rs
+
+/root/repo/target/debug/deps/libwearscope_mobilenet-fae22e1e46e11ddd.rmeta: crates/mobilenet/src/lib.rs crates/mobilenet/src/event.rs crates/mobilenet/src/mme.rs crates/mobilenet/src/network.rs crates/mobilenet/src/proxy.rs
+
+crates/mobilenet/src/lib.rs:
+crates/mobilenet/src/event.rs:
+crates/mobilenet/src/mme.rs:
+crates/mobilenet/src/network.rs:
+crates/mobilenet/src/proxy.rs:

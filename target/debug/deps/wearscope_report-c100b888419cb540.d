@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/wearscope_report-c100b888419cb540.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/experiments.rs crates/report/src/figures.rs crates/report/src/ingest.rs crates/report/src/plot.rs crates/report/src/summary.rs crates/report/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwearscope_report-c100b888419cb540.rmeta: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/experiments.rs crates/report/src/figures.rs crates/report/src/ingest.rs crates/report/src/plot.rs crates/report/src/summary.rs crates/report/src/table.rs Cargo.toml
+
+crates/report/src/lib.rs:
+crates/report/src/csv.rs:
+crates/report/src/experiments.rs:
+crates/report/src/figures.rs:
+crates/report/src/ingest.rs:
+crates/report/src/plot.rs:
+crates/report/src/summary.rs:
+crates/report/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/wearscope_simtime-0e04e623f2382476.d: crates/simtime/src/lib.rs crates/simtime/src/calendar.rs crates/simtime/src/duration.rs crates/simtime/src/range.rs crates/simtime/src/time.rs crates/simtime/src/window.rs
+
+/root/repo/target/debug/deps/wearscope_simtime-0e04e623f2382476: crates/simtime/src/lib.rs crates/simtime/src/calendar.rs crates/simtime/src/duration.rs crates/simtime/src/range.rs crates/simtime/src/time.rs crates/simtime/src/window.rs
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/calendar.rs:
+crates/simtime/src/duration.rs:
+crates/simtime/src/range.rs:
+crates/simtime/src/time.rs:
+crates/simtime/src/window.rs:

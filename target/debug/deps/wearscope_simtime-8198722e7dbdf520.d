@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/wearscope_simtime-8198722e7dbdf520.d: crates/simtime/src/lib.rs crates/simtime/src/calendar.rs crates/simtime/src/duration.rs crates/simtime/src/range.rs crates/simtime/src/time.rs crates/simtime/src/window.rs
+
+/root/repo/target/debug/deps/libwearscope_simtime-8198722e7dbdf520.rlib: crates/simtime/src/lib.rs crates/simtime/src/calendar.rs crates/simtime/src/duration.rs crates/simtime/src/range.rs crates/simtime/src/time.rs crates/simtime/src/window.rs
+
+/root/repo/target/debug/deps/libwearscope_simtime-8198722e7dbdf520.rmeta: crates/simtime/src/lib.rs crates/simtime/src/calendar.rs crates/simtime/src/duration.rs crates/simtime/src/range.rs crates/simtime/src/time.rs crates/simtime/src/window.rs
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/calendar.rs:
+crates/simtime/src/duration.rs:
+crates/simtime/src/range.rs:
+crates/simtime/src/time.rs:
+crates/simtime/src/window.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/wearscope_simtime-8b7accef114c6bef.d: crates/simtime/src/lib.rs crates/simtime/src/calendar.rs crates/simtime/src/duration.rs crates/simtime/src/range.rs crates/simtime/src/time.rs crates/simtime/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwearscope_simtime-8b7accef114c6bef.rmeta: crates/simtime/src/lib.rs crates/simtime/src/calendar.rs crates/simtime/src/duration.rs crates/simtime/src/range.rs crates/simtime/src/time.rs crates/simtime/src/window.rs Cargo.toml
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/calendar.rs:
+crates/simtime/src/duration.rs:
+crates/simtime/src/range.rs:
+crates/simtime/src/time.rs:
+crates/simtime/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/wearscope_synthpop-2fd40b04f9b7f7af.d: crates/synthpop/src/lib.rs crates/synthpop/src/config.rs crates/synthpop/src/dist.rs crates/synthpop/src/diurnal.rs crates/synthpop/src/mobility.rs crates/synthpop/src/population.rs crates/synthpop/src/scenario.rs crates/synthpop/src/subscriber.rs crates/synthpop/src/traffic.rs
+
+/root/repo/target/debug/deps/wearscope_synthpop-2fd40b04f9b7f7af: crates/synthpop/src/lib.rs crates/synthpop/src/config.rs crates/synthpop/src/dist.rs crates/synthpop/src/diurnal.rs crates/synthpop/src/mobility.rs crates/synthpop/src/population.rs crates/synthpop/src/scenario.rs crates/synthpop/src/subscriber.rs crates/synthpop/src/traffic.rs
+
+crates/synthpop/src/lib.rs:
+crates/synthpop/src/config.rs:
+crates/synthpop/src/dist.rs:
+crates/synthpop/src/diurnal.rs:
+crates/synthpop/src/mobility.rs:
+crates/synthpop/src/population.rs:
+crates/synthpop/src/scenario.rs:
+crates/synthpop/src/subscriber.rs:
+crates/synthpop/src/traffic.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/wearscope_synthpop-a625d1556cb17bc2.d: crates/synthpop/src/lib.rs crates/synthpop/src/config.rs crates/synthpop/src/dist.rs crates/synthpop/src/diurnal.rs crates/synthpop/src/mobility.rs crates/synthpop/src/population.rs crates/synthpop/src/scenario.rs crates/synthpop/src/subscriber.rs crates/synthpop/src/traffic.rs
+
+/root/repo/target/debug/deps/libwearscope_synthpop-a625d1556cb17bc2.rlib: crates/synthpop/src/lib.rs crates/synthpop/src/config.rs crates/synthpop/src/dist.rs crates/synthpop/src/diurnal.rs crates/synthpop/src/mobility.rs crates/synthpop/src/population.rs crates/synthpop/src/scenario.rs crates/synthpop/src/subscriber.rs crates/synthpop/src/traffic.rs
+
+/root/repo/target/debug/deps/libwearscope_synthpop-a625d1556cb17bc2.rmeta: crates/synthpop/src/lib.rs crates/synthpop/src/config.rs crates/synthpop/src/dist.rs crates/synthpop/src/diurnal.rs crates/synthpop/src/mobility.rs crates/synthpop/src/population.rs crates/synthpop/src/scenario.rs crates/synthpop/src/subscriber.rs crates/synthpop/src/traffic.rs
+
+crates/synthpop/src/lib.rs:
+crates/synthpop/src/config.rs:
+crates/synthpop/src/dist.rs:
+crates/synthpop/src/diurnal.rs:
+crates/synthpop/src/mobility.rs:
+crates/synthpop/src/population.rs:
+crates/synthpop/src/scenario.rs:
+crates/synthpop/src/subscriber.rs:
+crates/synthpop/src/traffic.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/wearscope_synthpop-bd1f7fb1432b496b.d: crates/synthpop/src/lib.rs crates/synthpop/src/config.rs crates/synthpop/src/dist.rs crates/synthpop/src/diurnal.rs crates/synthpop/src/mobility.rs crates/synthpop/src/population.rs crates/synthpop/src/scenario.rs crates/synthpop/src/subscriber.rs crates/synthpop/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwearscope_synthpop-bd1f7fb1432b496b.rmeta: crates/synthpop/src/lib.rs crates/synthpop/src/config.rs crates/synthpop/src/dist.rs crates/synthpop/src/diurnal.rs crates/synthpop/src/mobility.rs crates/synthpop/src/population.rs crates/synthpop/src/scenario.rs crates/synthpop/src/subscriber.rs crates/synthpop/src/traffic.rs Cargo.toml
+
+crates/synthpop/src/lib.rs:
+crates/synthpop/src/config.rs:
+crates/synthpop/src/dist.rs:
+crates/synthpop/src/diurnal.rs:
+crates/synthpop/src/mobility.rs:
+crates/synthpop/src/population.rs:
+crates/synthpop/src/scenario.rs:
+crates/synthpop/src/subscriber.rs:
+crates/synthpop/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/wearscope_trace-61da1c7ea5e13f96.d: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/codec.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/mme.rs crates/trace/src/proxy.rs crates/trace/src/shard.rs crates/trace/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwearscope_trace-61da1c7ea5e13f96.rmeta: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/codec.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/mme.rs crates/trace/src/proxy.rs crates/trace/src/shard.rs crates/trace/src/store.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/binary.rs:
+crates/trace/src/codec.rs:
+crates/trace/src/ids.rs:
+crates/trace/src/io.rs:
+crates/trace/src/mme.rs:
+crates/trace/src/proxy.rs:
+crates/trace/src/shard.rs:
+crates/trace/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/wearscope_trace-68eb5f673cd32636.d: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/codec.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/mme.rs crates/trace/src/proxy.rs crates/trace/src/shard.rs crates/trace/src/store.rs
+
+/root/repo/target/debug/deps/libwearscope_trace-68eb5f673cd32636.rlib: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/codec.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/mme.rs crates/trace/src/proxy.rs crates/trace/src/shard.rs crates/trace/src/store.rs
+
+/root/repo/target/debug/deps/libwearscope_trace-68eb5f673cd32636.rmeta: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/codec.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/mme.rs crates/trace/src/proxy.rs crates/trace/src/shard.rs crates/trace/src/store.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/binary.rs:
+crates/trace/src/codec.rs:
+crates/trace/src/ids.rs:
+crates/trace/src/io.rs:
+crates/trace/src/mme.rs:
+crates/trace/src/proxy.rs:
+crates/trace/src/shard.rs:
+crates/trace/src/store.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/wearscope_trace-bd29404fd1d33509.d: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/codec.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/mme.rs crates/trace/src/proxy.rs crates/trace/src/shard.rs crates/trace/src/store.rs
+
+/root/repo/target/debug/deps/wearscope_trace-bd29404fd1d33509: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/codec.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/mme.rs crates/trace/src/proxy.rs crates/trace/src/shard.rs crates/trace/src/store.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/binary.rs:
+crates/trace/src/codec.rs:
+crates/trace/src/ids.rs:
+crates/trace/src/io.rs:
+crates/trace/src/mme.rs:
+crates/trace/src/proxy.rs:
+crates/trace/src/shard.rs:
+crates/trace/src/store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/app_fingerprinting-08a19395020e9f0c.d: examples/app_fingerprinting.rs
+
+/root/repo/target/debug/examples/app_fingerprinting-08a19395020e9f0c: examples/app_fingerprinting.rs
+
+examples/app_fingerprinting.rs:

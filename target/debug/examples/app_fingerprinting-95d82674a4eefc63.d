@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/app_fingerprinting-95d82674a4eefc63.d: examples/app_fingerprinting.rs
+
+/root/repo/target/debug/examples/app_fingerprinting-95d82674a4eefc63: examples/app_fingerprinting.rs
+
+examples/app_fingerprinting.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibration_sweep-2af53cf28683f15d.d: examples/calibration_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibration_sweep-2af53cf28683f15d.rmeta: examples/calibration_sweep.rs Cargo.toml
+
+examples/calibration_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibration_sweep-5353cc15fcbcfbbd.d: examples/calibration_sweep.rs
+
+/root/repo/target/debug/examples/calibration_sweep-5353cc15fcbcfbbd: examples/calibration_sweep.rs
+
+examples/calibration_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibration_sweep-75e5dd00fec98516.d: examples/calibration_sweep.rs
+
+/root/repo/target/debug/examples/calibration_sweep-75e5dd00fec98516: examples/calibration_sweep.rs
+
+examples/calibration_sweep.rs:

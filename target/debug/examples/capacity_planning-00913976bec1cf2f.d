@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-00913976bec1cf2f.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-00913976bec1cf2f: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

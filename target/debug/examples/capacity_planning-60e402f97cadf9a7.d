@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-60e402f97cadf9a7.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-60e402f97cadf9a7: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

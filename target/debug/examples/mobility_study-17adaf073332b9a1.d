@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mobility_study-17adaf073332b9a1.d: examples/mobility_study.rs
+
+/root/repo/target/debug/examples/mobility_study-17adaf073332b9a1: examples/mobility_study.rs
+
+examples/mobility_study.rs:

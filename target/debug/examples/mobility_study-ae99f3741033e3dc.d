@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mobility_study-ae99f3741033e3dc.d: examples/mobility_study.rs
+
+/root/repo/target/debug/examples/mobility_study-ae99f3741033e3dc: examples/mobility_study.rs
+
+examples/mobility_study.rs:

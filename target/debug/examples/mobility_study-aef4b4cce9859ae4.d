@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mobility_study-aef4b4cce9859ae4.d: examples/mobility_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmobility_study-aef4b4cce9859ae4.rmeta: examples/mobility_study.rs Cargo.toml
+
+examples/mobility_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f542168d48470d86.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f542168d48470d86: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fa0d3d8175f7f196.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fa0d3d8175f7f196: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reproduce_paper-4e882b256a0d0b5a.d: examples/reproduce_paper.rs
+
+/root/repo/target/debug/examples/reproduce_paper-4e882b256a0d0b5a: examples/reproduce_paper.rs
+
+examples/reproduce_paper.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reproduce_paper-94666b42d5fd210f.d: examples/reproduce_paper.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreproduce_paper-94666b42d5fd210f.rmeta: examples/reproduce_paper.rs Cargo.toml
+
+examples/reproduce_paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reproduce_paper-c3d56f90c883c0fe.d: examples/reproduce_paper.rs
+
+/root/repo/target/debug/examples/reproduce_paper-c3d56f90c883c0fe: examples/reproduce_paper.rs
+
+examples/reproduce_paper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/through_device-29347c5d486a6122.d: examples/through_device.rs
+
+/root/repo/target/debug/examples/through_device-29347c5d486a6122: examples/through_device.rs
+
+examples/through_device.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/through_device-82727e2578c6e580.d: examples/through_device.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthrough_device-82727e2578c6e580.rmeta: examples/through_device.rs Cargo.toml
+
+examples/through_device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

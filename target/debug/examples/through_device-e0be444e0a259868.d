@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/through_device-e0be444e0a259868.d: examples/through_device.rs
+
+/root/repo/target/debug/examples/through_device-e0be444e0a259868: examples/through_device.rs
+
+examples/through_device.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ingest-ea68532a9bf94784.d: crates/bench/benches/ingest.rs
+
+/root/repo/target/release/deps/ingest-ea68532a9bf94784: crates/bench/benches/ingest.rs
+
+crates/bench/benches/ingest.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-b9314d259acf3a44.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b9314d259acf3a44.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b9314d259acf3a44.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wearscope-0058e0a895ead902.d: src/main.rs
+
+/root/repo/target/release/deps/wearscope-0058e0a895ead902: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wearscope-cd3c4a774a79746d.d: src/lib.rs
+
+/root/repo/target/release/deps/libwearscope-cd3c4a774a79746d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libwearscope-cd3c4a774a79746d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/wearscope_appdb-8db0c3a11a9cdc12.d: crates/appdb/src/lib.rs crates/appdb/src/apps.rs crates/appdb/src/catalog.rs crates/appdb/src/category.rs crates/appdb/src/classify.rs crates/appdb/src/domains.rs crates/appdb/src/fingerprints.rs crates/appdb/src/learn.rs
+
+/root/repo/target/release/deps/libwearscope_appdb-8db0c3a11a9cdc12.rlib: crates/appdb/src/lib.rs crates/appdb/src/apps.rs crates/appdb/src/catalog.rs crates/appdb/src/category.rs crates/appdb/src/classify.rs crates/appdb/src/domains.rs crates/appdb/src/fingerprints.rs crates/appdb/src/learn.rs
+
+/root/repo/target/release/deps/libwearscope_appdb-8db0c3a11a9cdc12.rmeta: crates/appdb/src/lib.rs crates/appdb/src/apps.rs crates/appdb/src/catalog.rs crates/appdb/src/category.rs crates/appdb/src/classify.rs crates/appdb/src/domains.rs crates/appdb/src/fingerprints.rs crates/appdb/src/learn.rs
+
+crates/appdb/src/lib.rs:
+crates/appdb/src/apps.rs:
+crates/appdb/src/catalog.rs:
+crates/appdb/src/category.rs:
+crates/appdb/src/classify.rs:
+crates/appdb/src/domains.rs:
+crates/appdb/src/fingerprints.rs:
+crates/appdb/src/learn.rs:

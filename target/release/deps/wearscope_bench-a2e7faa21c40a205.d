@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wearscope_bench-a2e7faa21c40a205.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libwearscope_bench-a2e7faa21c40a205.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libwearscope_bench-a2e7faa21c40a205.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

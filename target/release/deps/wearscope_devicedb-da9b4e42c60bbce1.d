@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/wearscope_devicedb-da9b4e42c60bbce1.d: crates/devicedb/src/lib.rs crates/devicedb/src/catalog.rs crates/devicedb/src/db.rs crates/devicedb/src/imei.rs
+
+/root/repo/target/release/deps/libwearscope_devicedb-da9b4e42c60bbce1.rlib: crates/devicedb/src/lib.rs crates/devicedb/src/catalog.rs crates/devicedb/src/db.rs crates/devicedb/src/imei.rs
+
+/root/repo/target/release/deps/libwearscope_devicedb-da9b4e42c60bbce1.rmeta: crates/devicedb/src/lib.rs crates/devicedb/src/catalog.rs crates/devicedb/src/db.rs crates/devicedb/src/imei.rs
+
+crates/devicedb/src/lib.rs:
+crates/devicedb/src/catalog.rs:
+crates/devicedb/src/db.rs:
+crates/devicedb/src/imei.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wearscope_geo-fe8b7d8cae9c1f60.d: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/layout.rs crates/geo/src/point.rs crates/geo/src/sectors.rs
+
+/root/repo/target/release/deps/libwearscope_geo-fe8b7d8cae9c1f60.rlib: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/layout.rs crates/geo/src/point.rs crates/geo/src/sectors.rs
+
+/root/repo/target/release/deps/libwearscope_geo-fe8b7d8cae9c1f60.rmeta: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/layout.rs crates/geo/src/point.rs crates/geo/src/sectors.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/layout.rs:
+crates/geo/src/point.rs:
+crates/geo/src/sectors.rs:

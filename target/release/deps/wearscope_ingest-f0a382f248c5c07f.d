@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/wearscope_ingest-f0a382f248c5c07f.d: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/load.rs crates/ingest/src/sharder.rs
+
+/root/repo/target/release/deps/libwearscope_ingest-f0a382f248c5c07f.rlib: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/load.rs crates/ingest/src/sharder.rs
+
+/root/repo/target/release/deps/libwearscope_ingest-f0a382f248c5c07f.rmeta: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/load.rs crates/ingest/src/sharder.rs
+
+crates/ingest/src/lib.rs:
+crates/ingest/src/engine.rs:
+crates/ingest/src/load.rs:
+crates/ingest/src/sharder.rs:

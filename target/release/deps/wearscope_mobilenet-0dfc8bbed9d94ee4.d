@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wearscope_mobilenet-0dfc8bbed9d94ee4.d: crates/mobilenet/src/lib.rs crates/mobilenet/src/event.rs crates/mobilenet/src/mme.rs crates/mobilenet/src/network.rs crates/mobilenet/src/proxy.rs
+
+/root/repo/target/release/deps/libwearscope_mobilenet-0dfc8bbed9d94ee4.rlib: crates/mobilenet/src/lib.rs crates/mobilenet/src/event.rs crates/mobilenet/src/mme.rs crates/mobilenet/src/network.rs crates/mobilenet/src/proxy.rs
+
+/root/repo/target/release/deps/libwearscope_mobilenet-0dfc8bbed9d94ee4.rmeta: crates/mobilenet/src/lib.rs crates/mobilenet/src/event.rs crates/mobilenet/src/mme.rs crates/mobilenet/src/network.rs crates/mobilenet/src/proxy.rs
+
+crates/mobilenet/src/lib.rs:
+crates/mobilenet/src/event.rs:
+crates/mobilenet/src/mme.rs:
+crates/mobilenet/src/network.rs:
+crates/mobilenet/src/proxy.rs:

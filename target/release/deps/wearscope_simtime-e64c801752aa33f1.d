@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/wearscope_simtime-e64c801752aa33f1.d: crates/simtime/src/lib.rs crates/simtime/src/calendar.rs crates/simtime/src/duration.rs crates/simtime/src/range.rs crates/simtime/src/time.rs crates/simtime/src/window.rs
+
+/root/repo/target/release/deps/libwearscope_simtime-e64c801752aa33f1.rlib: crates/simtime/src/lib.rs crates/simtime/src/calendar.rs crates/simtime/src/duration.rs crates/simtime/src/range.rs crates/simtime/src/time.rs crates/simtime/src/window.rs
+
+/root/repo/target/release/deps/libwearscope_simtime-e64c801752aa33f1.rmeta: crates/simtime/src/lib.rs crates/simtime/src/calendar.rs crates/simtime/src/duration.rs crates/simtime/src/range.rs crates/simtime/src/time.rs crates/simtime/src/window.rs
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/calendar.rs:
+crates/simtime/src/duration.rs:
+crates/simtime/src/range.rs:
+crates/simtime/src/time.rs:
+crates/simtime/src/window.rs:

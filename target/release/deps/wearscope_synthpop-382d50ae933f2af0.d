@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/wearscope_synthpop-382d50ae933f2af0.d: crates/synthpop/src/lib.rs crates/synthpop/src/config.rs crates/synthpop/src/dist.rs crates/synthpop/src/diurnal.rs crates/synthpop/src/mobility.rs crates/synthpop/src/population.rs crates/synthpop/src/scenario.rs crates/synthpop/src/subscriber.rs crates/synthpop/src/traffic.rs
+
+/root/repo/target/release/deps/libwearscope_synthpop-382d50ae933f2af0.rlib: crates/synthpop/src/lib.rs crates/synthpop/src/config.rs crates/synthpop/src/dist.rs crates/synthpop/src/diurnal.rs crates/synthpop/src/mobility.rs crates/synthpop/src/population.rs crates/synthpop/src/scenario.rs crates/synthpop/src/subscriber.rs crates/synthpop/src/traffic.rs
+
+/root/repo/target/release/deps/libwearscope_synthpop-382d50ae933f2af0.rmeta: crates/synthpop/src/lib.rs crates/synthpop/src/config.rs crates/synthpop/src/dist.rs crates/synthpop/src/diurnal.rs crates/synthpop/src/mobility.rs crates/synthpop/src/population.rs crates/synthpop/src/scenario.rs crates/synthpop/src/subscriber.rs crates/synthpop/src/traffic.rs
+
+crates/synthpop/src/lib.rs:
+crates/synthpop/src/config.rs:
+crates/synthpop/src/dist.rs:
+crates/synthpop/src/diurnal.rs:
+crates/synthpop/src/mobility.rs:
+crates/synthpop/src/population.rs:
+crates/synthpop/src/scenario.rs:
+crates/synthpop/src/subscriber.rs:
+crates/synthpop/src/traffic.rs:

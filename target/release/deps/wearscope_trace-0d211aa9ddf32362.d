@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/wearscope_trace-0d211aa9ddf32362.d: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/codec.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/mme.rs crates/trace/src/proxy.rs crates/trace/src/shard.rs crates/trace/src/store.rs
+
+/root/repo/target/release/deps/libwearscope_trace-0d211aa9ddf32362.rlib: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/codec.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/mme.rs crates/trace/src/proxy.rs crates/trace/src/shard.rs crates/trace/src/store.rs
+
+/root/repo/target/release/deps/libwearscope_trace-0d211aa9ddf32362.rmeta: crates/trace/src/lib.rs crates/trace/src/binary.rs crates/trace/src/codec.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/mme.rs crates/trace/src/proxy.rs crates/trace/src/shard.rs crates/trace/src/store.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/binary.rs:
+crates/trace/src/codec.rs:
+crates/trace/src/ids.rs:
+crates/trace/src/io.rs:
+crates/trace/src/mme.rs:
+crates/trace/src/proxy.rs:
+crates/trace/src/shard.rs:
+crates/trace/src/store.rs:

@@ -58,15 +58,22 @@ fn fig3a_diurnal_shape() {
 
     // Weekday commute bumps: morning (6-8) and evening (16-19) beat the
     // late-morning trough (10-11) per hour.
-    let avg = |hours: std::ops::Range<usize>, slots: &[wearscope::core::activity::HourStats; 24]| {
+    let avg = |hours: std::ops::Range<usize>,
+               slots: &[wearscope::core::activity::HourStats; 24]| {
         let n = hours.len() as f64;
         hours.map(|h| slots[h].transactions).sum::<f64>() / n
     };
     let morning = avg(6..9, &p.weekday);
     let evening = avg(16..20, &p.weekday);
     let trough = avg(9..12, &p.weekday);
-    assert!(morning > 0.9 * trough, "morning {morning} vs trough {trough}");
-    assert!(evening > 1.05 * trough, "evening {evening} vs trough {trough}");
+    assert!(
+        morning > 0.9 * trough,
+        "morning {morning} vs trough {trough}"
+    );
+    assert!(
+        evening > 1.05 * trough,
+        "evening {evening} vs trough {trough}"
+    );
 
     // Weekend mornings ramp later: weekend 7am share < weekday 7am share.
     assert!(p.weekend[7].transactions < p.weekday[7].transactions);
@@ -80,7 +87,11 @@ fn fig5a_popularity_rank_tracks_catalog() {
     let pop = AppPopularity::compute(&attributed);
 
     // Most of the catalog should be observed at this scale.
-    assert!(pop.rank.len() >= 35, "only {} apps observed", pop.rank.len());
+    assert!(
+        pop.rank.len() >= 35,
+        "only {} apps observed",
+        pop.rank.len()
+    );
 
     // Observed user-share rank correlates strongly with catalog popularity
     // rank (installs are popularity-weighted).
@@ -129,8 +140,16 @@ fn fig6_category_ranks() {
             .position(|c| *c == cat)
             .unwrap_or(users_rank.len())
     };
-    assert!(pos(AppCategory::Shopping) < 9, "Shopping ranked {}", pos(AppCategory::Shopping));
-    assert!(pos(AppCategory::Social) < 9, "Social ranked {}", pos(AppCategory::Social));
+    assert!(
+        pos(AppCategory::Shopping) < 9,
+        "Shopping ranked {}",
+        pos(AppCategory::Shopping)
+    );
+    assert!(
+        pos(AppCategory::Social) < 9,
+        "Social ranked {}",
+        pos(AppCategory::Social)
+    );
     // Paper: Health & Fitness sits at the bottom despite wearables being
     // fitness devices; Lifestyle (one niche app) stays in the bottom half.
     let bottom5: Vec<AppCategory> = users_rank.iter().rev().take(5).copied().collect();
@@ -142,11 +161,18 @@ fn fig6_category_ranks() {
         .iter()
         .position(|c| *c == AppCategory::Lifestyle)
         .unwrap_or(users_rank.len());
-    assert!(lifestyle_pos >= 7, "Lifestyle ranked {lifestyle_pos} in {users_rank:?}");
+    assert!(
+        lifestyle_pos >= 7,
+        "Lifestyle ranked {lifestyle_pos} in {users_rank:?}"
+    );
 
     // Data ranking: Communication carries a large share (paper: dominates
     // data alongside Weather/Social).
-    let comm_data = cats.data.get(&AppCategory::Communication).copied().unwrap_or(0.0);
+    let comm_data = cats
+        .data
+        .get(&AppCategory::Communication)
+        .copied()
+        .unwrap_or(0.0);
     assert!(comm_data > 0.10, "Communication data share {comm_data}");
 
     // All four metrics are normalized distributions.
@@ -178,7 +204,10 @@ fn fig7_per_usage_spread() {
         .iter()
         .filter_map(|n| bytes_of(n))
         .fold(f64::INFINITY, f64::min);
-    assert!(heavy.is_finite() && light.is_finite(), "apps missing from sessions");
+    assert!(
+        heavy.is_finite() && light.is_finite(),
+        "apps missing from sessions"
+    );
     assert!(
         heavy > 8.0 * light,
         "heavy {heavy:.0} B vs light {light:.0} B per usage"

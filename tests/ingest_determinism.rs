@@ -1,0 +1,162 @@
+//! Property: the sharded parallel ingest engine is *bit-identical* to the
+//! sequential fold for every worker count.
+//!
+//! `PartialEq` on the aggregates already catches most divergence, but the
+//! contract in `wearscope_core::merge` is stronger — no float may differ in
+//! a single bit — so the float-bearing series are additionally compared
+//! through `f64::to_bits` (which also distinguishes `0.0` from `-0.0`).
+
+use proptest::prelude::*;
+
+use wearscope::core::merge::CoreAggregates;
+use wearscope::ingest::IngestEngine;
+use wearscope::prelude::*;
+use wearscope::simtime::Calendar;
+use wearscope::trace::{MmeEvent, MmeRecord, ProxyRecord, Scheme};
+
+const HOSTS: [&str; 6] = [
+    "api.weather.com",
+    "maps.googleapis.com",
+    "ssl.google-analytics.com",
+    "media.akamaized.net",
+    "gateway.icloud.com",
+    "cdn.jsdelivr.net",
+];
+
+/// Raw proxy draw: (user, time offset s, host idx, https, down, up).
+fn arb_proxy() -> impl Strategy<Value = Vec<(u64, u64, usize, bool, u64, u64)>> {
+    prop::collection::vec(
+        (
+            0u64..24,
+            0u64..14 * 86_400,
+            0usize..HOSTS.len(),
+            any::<bool>(),
+            0u64..500_000,
+            0u64..20_000,
+        ),
+        0..300,
+    )
+}
+
+/// Raw MME draw: (user, time offset s, sector, detach?).
+fn arb_mme() -> impl Strategy<Value = Vec<(u64, u64, u32, bool)>> {
+    prop::collection::vec(
+        (0u64..24, 0u64..14 * 86_400, 0u32..5, any::<bool>()),
+        0..150,
+    )
+}
+
+/// Assigns user `u` an IMEI: even users get a SIM-wearable, odd users a
+/// smartphone, so the wearable filter and owner/rest split both matter.
+fn imei_for(db: &DeviceDb, u: u64) -> u64 {
+    let tacs = if u.is_multiple_of(2) {
+        db.wearable_tacs()
+    } else {
+        db.tacs_of_class(DeviceClass::Smartphone)
+    };
+    db.example_imei(tacs[(u as usize / 2) % tacs.len()], u as u32)
+        .as_u64()
+}
+
+fn bits(samples: &[f64]) -> Vec<u64> {
+    samples.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    /// For any random trace and any worker count 1–8, every float series the
+    /// parallel engine produces has the same bits as the sequential fold.
+    #[test]
+    fn sharded_ingest_is_bit_identical(proxy_raw in arb_proxy(), mme_raw in arb_mme()) {
+        let db = DeviceDb::standard();
+        let mut sectors = SectorDirectory::new();
+        for i in 0..5 {
+            sectors.push(
+                wearscope::geo::GeoPoint::new(40.0 + 0.07 * f64::from(i), -3.0 - 0.05 * f64::from(i)),
+                None,
+            );
+        }
+        let catalog = AppCatalog::standard();
+
+        let proxy: Vec<ProxyRecord> = proxy_raw
+            .into_iter()
+            .map(|(u, t, h, https, down, up)| ProxyRecord {
+                timestamp: SimTime::from_secs(t),
+                user: UserId(u),
+                imei: imei_for(&db, u),
+                host: HOSTS[h].into(),
+                scheme: if https { Scheme::Https } else { Scheme::Http },
+                bytes_down: down,
+                bytes_up: up,
+            })
+            .collect();
+        let mme: Vec<MmeRecord> = mme_raw
+            .into_iter()
+            .map(|(u, t, sector, detach)| MmeRecord {
+                timestamp: SimTime::from_secs(t),
+                user: UserId(u),
+                imei: imei_for(&db, u),
+                event: if detach { MmeEvent::Detach } else { MmeEvent::SectorUpdate },
+                sector,
+            })
+            .collect();
+        let store = TraceStore::from_records(proxy, mme);
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::new(14, 14, Calendar::PAPER),
+        );
+
+        let seq = CoreAggregates::sequential(&ctx);
+        for workers in 1..=8 {
+            let (par, report) = IngestEngine::new(workers).compute(&ctx);
+
+            // Structural equality over everything first.
+            prop_assert_eq!(&par.activity, &seq.activity);
+            prop_assert_eq!(&par.hourly, &seq.hourly);
+            prop_assert_eq!(&par.tx_stats, &seq.tx_stats);
+            prop_assert_eq!(&par.traffic, &seq.traffic);
+            prop_assert_eq!(&par.mobility, &seq.mobility);
+            prop_assert_eq!(&par.attributed, &seq.attributed);
+            prop_assert_eq!(&par.popularity, &seq.popularity);
+
+            // Then bit-exactness of every float series.
+            prop_assert_eq!(
+                bits(par.tx_stats.size.samples()),
+                bits(seq.tx_stats.size.samples())
+            );
+            prop_assert_eq!(
+                bits(par.tx_stats.hourly_tx_per_user.samples()),
+                bits(seq.tx_stats.hourly_tx_per_user.samples())
+            );
+            prop_assert_eq!(
+                bits(par.tx_stats.hourly_bytes_per_user.samples()),
+                bits(seq.tx_stats.hourly_bytes_per_user.samples())
+            );
+            prop_assert_eq!(
+                par.tx_stats.median_bytes.to_bits(),
+                seq.tx_stats.median_bytes.to_bits()
+            );
+            for hour in 0..24 {
+                for (p, s) in [
+                    (&par.hourly.weekday[hour], &seq.hourly.weekday[hour]),
+                    (&par.hourly.weekend[hour], &seq.hourly.weekend[hour]),
+                ] {
+                    prop_assert_eq!(p.active_users.to_bits(), s.active_users.to_bits());
+                    prop_assert_eq!(p.transactions.to_bits(), s.transactions.to_bits());
+                    prop_assert_eq!(p.bytes.to_bits(), s.bytes.to_bits());
+                }
+            }
+            let mut users: Vec<_> = seq.mobility.per_user.keys().copied().collect();
+            users.sort();
+            for u in users {
+                prop_assert_eq!(
+                    bits(&par.mobility.per_user[&u].daily_max_displacement_km),
+                    bits(&seq.mobility.per_user[&u].daily_max_displacement_km)
+                );
+            }
+            prop_assert_eq!(report.parse_errors(), 0);
+        }
+    }
+}

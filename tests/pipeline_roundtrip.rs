@@ -16,7 +16,13 @@ fn small_world(seed: u64) -> GeneratedWorld {
 }
 
 fn takeaways_of(world: &GeneratedWorld, store: &TraceStore) -> Takeaways {
-    let ctx = StudyContext::new(store, &world.db, &world.sectors, &world.apps, world.config.window);
+    let ctx = StudyContext::new(
+        store,
+        &world.db,
+        &world.sectors,
+        &world.apps,
+        world.config.window,
+    );
     Takeaways::compute(&ctx, &world.summaries)
 }
 
@@ -95,7 +101,10 @@ fn corrupted_log_lines_are_reported_not_ignored() {
 
     // Round-trip sanity for a single record line.
     let line = world.store.proxy()[0].to_line();
-    assert_eq!(ProxyRecord::from_line(&line).unwrap(), world.store.proxy()[0]);
+    assert_eq!(
+        ProxyRecord::from_line(&line).unwrap(),
+        world.store.proxy()[0]
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -106,7 +115,13 @@ fn analysis_ignores_foreign_devices() {
     let world = small_world(76);
     let mut store = world.store.clone();
     let n_before_owners = {
-        let ctx = StudyContext::new(&store, &world.db, &world.sectors, &world.apps, world.config.window);
+        let ctx = StudyContext::new(
+            &store,
+            &world.db,
+            &world.sectors,
+            &world.apps,
+            world.config.window,
+        );
         ctx.owners().len()
     };
     // Inject transactions from an unknown IMEI (valid Luhn, unknown TAC).
@@ -128,8 +143,18 @@ fn analysis_ignores_foreign_devices() {
         });
     }
     store.sort_by_time();
-    let ctx = StudyContext::new(&store, &world.db, &world.sectors, &world.apps, world.config.window);
-    assert_eq!(ctx.owners().len(), n_before_owners, "foreign devices must not become owners");
+    let ctx = StudyContext::new(
+        &store,
+        &world.db,
+        &world.sectors,
+        &world.apps,
+        world.config.window,
+    );
+    assert_eq!(
+        ctx.owners().len(),
+        n_before_owners,
+        "foreign devices must not become owners"
+    );
     assert_eq!(ctx.device_class(foreign), None);
     // Pipeline still runs.
     let t = Takeaways::compute(&ctx, &world.summaries);

@@ -41,8 +41,16 @@ fn shared() -> &'static Shared {
 #[test]
 fn world_is_nontrivial() {
     let s = shared();
-    assert!(s.world.store.proxy().len() > 100_000, "{} proxy records", s.world.store.proxy().len());
-    assert!(s.world.store.mme().len() > 50_000, "{} mme records", s.world.store.mme().len());
+    assert!(
+        s.world.store.proxy().len() > 100_000,
+        "{} proxy records",
+        s.world.store.proxy().len()
+    );
+    assert!(
+        s.world.store.mme().len() > 50_000,
+        "{} mme records",
+        s.world.store.mme().len()
+    );
     assert_eq!(s.world.stats.time_regressions, 0);
     assert_eq!(s.world.stats.mme_anomalies, 0);
 }
@@ -237,7 +245,11 @@ fn fig8_thirdparty_magnitude() {
 #[test]
 fn s6_through_device() {
     let t = &shared().takeaways;
-    assert!(t.through_device_identified > 10, "identified {}", t.through_device_identified);
+    assert!(
+        t.through_device_identified > 10,
+        "identified {}",
+        t.through_device_identified
+    );
     assert!(t.through_device_mobility_similar);
 }
 
@@ -253,5 +265,8 @@ fn experiment_report_mostly_green() {
         report.total()
     );
     // And the bands themselves must be exercised: no degenerate all-True rows.
-    assert!(report.rows.iter().any(|r| matches!(r.band, Band::Relative(_))));
+    assert!(report
+        .rows
+        .iter()
+        .any(|r| matches!(r.band, Band::Relative(_))));
 }

@@ -1,0 +1,244 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! subset of the criterion API its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`/`bench_with_input`, `Bencher::iter`,
+//! `Throughput::Elements`, `BenchmarkId`, and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! Measurement is a calibrated median-of-samples harness: each routine is
+//! auto-scaled so a sample takes ~25 ms, then the median per-iteration time
+//! over the samples is reported (with element throughput when declared).
+//! No HTML reports, no statistical regression analysis — just honest
+//! wall-clock numbers on stdout, enough to compare configurations.
+
+use std::time::{Duration, Instant};
+
+/// Per-sample target duration after calibration.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+/// Cap on measurement samples per benchmark (keeps suites fast).
+const MAX_SAMPLES: usize = 15;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Declared work per iteration, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter value.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name` tagged with a parameter, rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing context handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine` (results are black-boxed so the
+    /// optimizer cannot elide the work).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(
+    label: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    routine: &mut dyn FnMut(&mut Bencher),
+) {
+    // Calibrate: grow the iteration count until one sample is long enough
+    // to time reliably.
+    let mut iters = 1u64;
+    let per_iter_estimate;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 28 {
+            per_iter_estimate = b.elapsed.as_secs_f64() / iters as f64;
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+    let sample_iters = ((SAMPLE_TARGET.as_secs_f64() / per_iter_estimate.max(1e-12)) as u64).max(1);
+
+    let mut per_iter: Vec<f64> = (0..samples.clamp(3, MAX_SAMPLES))
+        .map(|_| {
+            let mut b = Bencher {
+                iters: sample_iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            b.elapsed.as_secs_f64() / sample_iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+
+    let time = if median >= 1.0 {
+        format!("{median:.3} s")
+    } else if median >= 1e-3 {
+        format!("{:.3} ms", median * 1e3)
+    } else if median >= 1e-6 {
+        format!("{:.3} µs", median * 1e6)
+    } else {
+        format!("{:.1} ns", median * 1e9)
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / median;
+            println!("{label:<50} time: {time:>12}   thrpt: {rate:.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / median / (1024.0 * 1024.0);
+            println!("{label:<50} time: {time:>12}   thrpt: {rate:.1} MiB/s");
+        }
+        None => println!("{label:<50} time: {time:>12}"),
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), None, 10, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_one(&label, self.throughput, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_one(&label, self.throughput, self.sample_size, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("n", 7usize), &7usize, |b, &n| {
+            b.iter(|| (0..n).product::<usize>())
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 2 + 2));
+    }
+}

@@ -1,0 +1,624 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! subset of proptest it uses: the [`Strategy`] trait (ranges, tuples,
+//! `prop_map`, collections, options, a regex-subset string generator), the
+//! `proptest!` test macro with both `name in strategy` and `name: Type`
+//! parameter forms, and the `prop_assert!`/`prop_assert_eq!`/`prop_assume!`/
+//! `prop_oneof!` macros.
+//!
+//! Differences from upstream, deliberately accepted for a hermetic build:
+//! no shrinking (a failing case reports its values, not a minimal one), a
+//! fixed deterministic per-test seed (derived from the test name, so runs
+//! are reproducible), and a small regex subset (character classes, `\PC`,
+//! `{m,n}` repetition, literal escapes, and `(a|b)` alternation groups —
+//! exactly what the repo's generators use).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cases generated per `proptest!` test.
+const CASES: u32 = 96;
+/// Give up if `prop_assume!` rejects this many total draws.
+const MAX_REJECTS: u32 = CASES * 40;
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; draw a fresh case instead.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Runs `CASES` deterministic cases of `f`, panicking on the first failure.
+///
+/// # Panics
+/// Panics when a case fails or when `prop_assume!` rejects too often.
+pub fn run_cases<F>(test_name: &str, mut f: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    // FNV-1a over the test name: stable seed per test, independent streams
+    // across tests.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut passed = 0u32;
+    let mut rejects = 0u32;
+    while passed < CASES {
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects < MAX_REJECTS,
+                    "{test_name}: prop_assume! rejected {rejects} draws \
+                     (only {passed}/{CASES} cases ran)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: case {passed} failed: {msg}")
+            }
+        }
+    }
+}
+
+/// A generator of test-case values.
+///
+/// Unlike upstream there is no shrinking: a strategy is just a deterministic
+/// function of the RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! strategy_for_tuples {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+strategy_for_tuples! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+}
+
+/// Uniform choice between strategies of the same value type; backs
+/// [`prop_oneof!`].
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.random_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy; backs [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy for `bool`; also exposed as `prop::bool::ANY`.
+#[derive(Clone, Copy)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.random()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolAny;
+    fn arbitrary() -> BoolAny {
+        BoolAny
+    }
+}
+
+macro_rules! arbitrary_full_range_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = std::ops::RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+arbitrary_full_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy: `&'static str` is a Strategy<Value = String>.
+// ---------------------------------------------------------------------------
+
+/// Non-control characters `\PC` draws from: printable ASCII plus a spread of
+/// multi-byte code points to exercise unicode paths.
+const PRINTABLE_EXTRA: &[char] = &[
+    'á', 'ß', 'ñ', 'Ω', 'π', '√', '中', '文', '日', '本', 'あ', '🦀', '🎈', '†', '—', '\u{a0}',
+];
+
+enum Piece {
+    /// One char drawn from a fixed set.
+    Class(Vec<char>),
+    /// One char drawn from "printable, non-control" (`\PC`).
+    Printable,
+    /// A literal char.
+    Lit(char),
+    /// `(a|b|c)`: one alternative sequence, chosen uniformly.
+    Group(Vec<Vec<Atom>>),
+}
+
+struct Atom {
+    piece: Piece,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the regex subset; panics on anything outside it so a typo in a
+/// test pattern fails loudly instead of silently generating garbage.
+fn parse_seq(chars: &mut std::iter::Peekable<std::str::Chars>, in_group: bool) -> Vec<Atom> {
+    let mut out = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if in_group && (c == '|' || c == ')') {
+            break;
+        }
+        chars.next();
+        let piece = match c {
+            '\\' => match chars.next().expect("dangling backslash in pattern") {
+                'P' => {
+                    assert_eq!(chars.next(), Some('C'), "only \\PC is supported");
+                    Piece::Printable
+                }
+                esc => Piece::Lit(esc),
+            },
+            '[' => {
+                let mut set = Vec::new();
+                loop {
+                    let d = chars.next().expect("unterminated character class");
+                    if d == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        // Lookahead: `a-z` range, unless `-` ends the class.
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        if let Some(&hi) = ahead.peek() {
+                            if hi != ']' {
+                                chars.next();
+                                chars.next();
+                                set.extend(d..=hi);
+                                continue;
+                            }
+                        }
+                    }
+                    set.push(d);
+                }
+                Piece::Class(set)
+            }
+            '(' => {
+                let mut alts = vec![parse_seq(chars, true)];
+                while chars.peek() == Some(&'|') {
+                    chars.next();
+                    alts.push(parse_seq(chars, true));
+                }
+                assert_eq!(chars.next(), Some(')'), "unterminated group");
+                Piece::Group(alts)
+            }
+            lit => Piece::Lit(lit),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut digits = String::new();
+            let mut min = None;
+            loop {
+                match chars.next().expect("unterminated repetition") {
+                    '}' => break,
+                    ',' => min = Some(std::mem::take(&mut digits)),
+                    d => digits.push(d),
+                }
+            }
+            let hi: usize = digits.parse().expect("bad repetition bound");
+            let lo = match min {
+                Some(s) => s.parse().expect("bad repetition bound"),
+                None => hi,
+            };
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        out.push(Atom { piece, min, max });
+    }
+    out
+}
+
+fn generate_seq(atoms: &[Atom], rng: &mut StdRng, out: &mut String) {
+    for atom in atoms {
+        let reps = rng.random_range(atom.min..=atom.max);
+        for _ in 0..reps {
+            match &atom.piece {
+                Piece::Lit(c) => out.push(*c),
+                Piece::Class(set) => {
+                    assert!(!set.is_empty(), "empty character class");
+                    out.push(set[rng.random_range(0..set.len())]);
+                }
+                Piece::Printable => {
+                    // ~1 in 8 draws picks a non-ASCII printable char.
+                    if rng.random_range(0..8usize) == 0 {
+                        out.push(PRINTABLE_EXTRA[rng.random_range(0..PRINTABLE_EXTRA.len())]);
+                    } else {
+                        out.push(char::from(rng.random_range(0x20u8..0x7f)));
+                    }
+                }
+                Piece::Group(alts) => {
+                    let alt = &alts[rng.random_range(0..alts.len())];
+                    generate_seq(alt, rng, out);
+                }
+            }
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let atoms = parse_seq(&mut self.chars().peekable(), false);
+        let mut out = String::new();
+        generate_seq(&atoms, rng, &mut out);
+        out
+    }
+}
+
+/// Combinator namespaces mirroring `proptest::prop`.
+pub mod prop {
+    pub mod bool {
+        //! Boolean strategies.
+        /// Uniform `bool`.
+        pub const ANY: crate::BoolAny = crate::BoolAny;
+    }
+
+    pub mod collection {
+        //! Collection strategies.
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: std::ops::Range<usize>,
+        }
+
+        /// Vectors of `elem` values with length in `size`.
+        pub fn vec<S: crate::Strategy>(elem: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, size }
+        }
+
+        impl<S: crate::Strategy> crate::Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let len = rng.random_range(self.size.clone());
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod option {
+        //! Option strategies.
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy for `Option<S::Value>`.
+        pub struct OptionStrategy<S>(S);
+
+        /// `None` about a quarter of the time, `Some(inner)` otherwise.
+        pub fn of<S: crate::Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: crate::Strategy> crate::Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                if rng.random_range(0..4usize) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+/// Everything a proptest file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+/// Declares property tests. Parameters may be `name in strategy_expr` or
+/// `name: Type` (via [`Arbitrary`]); bodies may use `prop_assert!`,
+/// `prop_assert_eq!`, and `prop_assume!`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident ($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__pt_rng| {
+                    $crate::__proptest_body!(__pt_rng, $body, $($params)*)
+                });
+            }
+        )*
+    };
+}
+
+/// Internal: binds one parameter at a time, then runs the body.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($rng:ident, $body:block,) => {{
+        $body
+        Ok(())
+    }};
+    ($rng:ident, $body:block, $id:ident in $($rest:tt)*) => {
+        $crate::__proptest_munch!($rng, $body, [$id] [] $($rest)*)
+    };
+    ($rng:ident, $body:block, $id:ident : $ty:ty, $($rest:tt)*) => {{
+        let $id: $ty = $crate::Strategy::generate(&$crate::any::<$ty>(), $rng);
+        $crate::__proptest_body!($rng, $body, $($rest)*)
+    }};
+    ($rng:ident, $body:block, $id:ident : $ty:ty) => {{
+        let $id: $ty = $crate::Strategy::generate(&$crate::any::<$ty>(), $rng);
+        $crate::__proptest_body!($rng, $body,)
+    }};
+}
+
+/// Internal: accumulates a strategy expression's tokens up to the next
+/// top-level comma (nested commas sit inside `()`/`[]` groups, which are
+/// single token trees).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_munch {
+    ($rng:ident, $body:block, [$id:ident] [$($acc:tt)*], $($rest:tt)*) => {{
+        let $id = $crate::Strategy::generate(&($($acc)*), $rng);
+        $crate::__proptest_body!($rng, $body, $($rest)*)
+    }};
+    ($rng:ident, $body:block, [$id:ident] [$($acc:tt)*]) => {{
+        let $id = $crate::Strategy::generate(&($($acc)*), $rng);
+        $crate::__proptest_body!($rng, $body,)
+    }};
+    ($rng:ident, $body:block, [$id:ident] [$($acc:tt)*] $t:tt $($rest:tt)*) => {
+        $crate::__proptest_munch!($rng, $body, [$id] [$($acc)* $t] $($rest)*)
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__pt_l, __pt_r) => {
+                if !(*__pt_l == *__pt_r) {
+                    return Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __pt_l,
+                        __pt_r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn hostname() -> impl Strategy<Value = String> {
+        "[a-d]{1,4}\\.[a-f]{1,5}\\.(com|net|org)".prop_map(|s| s)
+    }
+
+    proptest! {
+        /// Mixed `in` and typed params; nested strategies.
+        #[test]
+        fn mixed_params(
+            n in 0u32..100,
+            xs in prop::collection::vec((0u8..3, -1.0f64..1.0), 0..10),
+            maybe in prop::option::of(0u16..6),
+            flag: bool,
+            f in 0.25f64..=0.75,
+        ) {
+            prop_assert!(n < 100);
+            prop_assert!(xs.len() < 10);
+            for (a, b) in &xs {
+                prop_assert!(*a < 3);
+                prop_assert!((-1.0..1.0).contains(b), "b was {b}");
+            }
+            if let Some(v) = maybe {
+                prop_assert!(v < 6);
+            }
+            prop_assume!(flag || n < 100);
+            prop_assert!((0.25..=0.75).contains(&f));
+            prop_assert_eq!(n + 1, 1 + n);
+        }
+
+        /// Regex subset: classes, escapes, groups, repetition.
+        #[test]
+        fn regex_shapes(host in hostname(), junk in "\\PC{0,20}", label in "[a-z0-9][a-z0-9-]{0,8}") {
+            let dot1 = host.find('.').unwrap();
+            prop_assert!((1..=4).contains(&dot1));
+            prop_assert!(host.ends_with(".com") || host.ends_with(".net") || host.ends_with(".org"));
+            prop_assert!(junk.chars().count() <= 20);
+            prop_assert!(!junk.chars().any(char::is_control));
+            prop_assert!((1..=9).contains(&label.chars().count()));
+            prop_assert!(label.chars().next().unwrap().is_ascii_alphanumeric());
+        }
+
+        /// prop_oneof picks every arm eventually (statistically certain over
+        /// the vec of draws).
+        #[test]
+        fn oneof_covers_arms(picks in prop::collection::vec(
+            prop_oneof![
+                (0u8..1).prop_map(|_| 'a'),
+                (0u8..1).prop_map(|_| 'b'),
+            ],
+            64..65,
+        )) {
+            prop_assert!(picks.contains(&'a'));
+            prop_assert!(picks.contains(&'b'));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strat = prop::collection::vec(0u64..1000, 1..20);
+        let a: Vec<u64> = strat.generate(&mut StdRng::seed_from_u64(5));
+        let b: Vec<u64> = strat.generate(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "case 0 failed")]
+    fn failures_panic() {
+        proptest! {
+            fn always_fails(x in 0u8..10) {
+                prop_assert!(x > 250, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

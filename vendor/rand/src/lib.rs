@@ -1,0 +1,249 @@
+//! Offline stand-in for the `rand` crate (0.9 API shape).
+//!
+//! The build container has no network access, so the workspace vendors the
+//! subset of `rand` it uses: the [`Rng`]/[`RngCore`]/[`SeedableRng`] traits,
+//! uniform sampling for primitive numeric ranges, and a deterministic
+//! [`rngs::StdRng`].
+//!
+//! `StdRng` here is **xoshiro256++** seeded via SplitMix64 — a different
+//! stream than upstream's ChaCha12-based `StdRng`, so seeded values differ
+//! from upstream, but every property that matters to wearscope holds:
+//! deterministic per seed, uniform, and independent streams per
+//! `seed_from_u64` split.
+
+/// A source of random `u64`/`u32` words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable uniformly over their "standard" domain
+/// (`[0, 1)` for floats, full range for integers).
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// `[0, 1)` with 53 bits of precision.
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// `[0, 1)` with 24 bits of precision.
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_lossless)]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty random_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = u128::from(rng.next_u64()) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_lossless)]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty random_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = u128::from(rng.next_u64()) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty random_range");
+                self.start + (self.end - self.start) * <$t>::standard_sample(rng)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty random_range");
+                lo + (hi - lo) * <$t>::standard_sample(rng)
+            }
+        }
+    )*};
+}
+range_float!(f32, f64);
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A standard-domain sample (`[0, 1)` for floats).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// A uniform sample from `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::standard_sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from an integer seed.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete RNG implementations.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic generator: xoshiro256++ seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.random::<f64>().to_bits(), b.random::<f64>().to_bits());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_hit_bounds_only_inside() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v: u32 = rng.random_range(100..999);
+            assert!((100..999).contains(&v));
+            let u = rng.random_range(0..7usize);
+            assert!(u < 7);
+            let f = rng.random_range(0.08..0.30);
+            assert!((0.08..0.30).contains(&f));
+            let i = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_bounds() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random::<f64>()
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(draw(&mut rng) < 1.0);
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+    }
+}
