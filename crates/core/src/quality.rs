@@ -35,6 +35,12 @@ pub struct DataQualityReport {
     /// Proxy records timestamped outside the detailed window (retention
     /// violations).
     pub out_of_window_records: u64,
+    /// Records the ingestion layer saw before validation, when the store
+    /// came through the resilient loader (0 for in-memory stores).
+    pub ingest_records_seen: u64,
+    /// Records the ingestion layer quarantined before this report's checks
+    /// ran — the part of the trace these figures *cannot* describe.
+    pub ingest_quarantined: u64,
 }
 
 impl DataQualityReport {
@@ -84,16 +90,29 @@ impl DataQualityReport {
         report
     }
 
+    /// Folds the ingestion layer's pre-validation tally into this report,
+    /// so downstream QA sees quarantined records as a coverage loss.
+    pub fn note_ingest(&mut self, records_seen: u64, quarantined: u64) {
+        self.ingest_records_seen = records_seen;
+        self.ingest_quarantined = quarantined;
+    }
+
     /// `true` when the trace is fit for the full analysis: no silent days,
-    /// no retention violations, and identification misses below `tolerance`
-    /// (fraction of proxy records).
+    /// no retention violations, and identification misses plus ingest
+    /// quarantine losses below `tolerance` (fraction of records).
     pub fn is_healthy(&self, tolerance: f64) -> bool {
         if !self.silent_days.is_empty() || self.out_of_window_records > 0 {
             return false;
         }
         let total = self.proxy_records.max(1) as f64;
+        let ingest_loss = if self.ingest_records_seen > 0 {
+            self.ingest_quarantined as f64 / self.ingest_records_seen as f64
+        } else {
+            0.0
+        };
         (self.unresolved_device_records as f64 / total) <= tolerance
             && (self.unclassified_wearable_records as f64 / total) <= tolerance
+            && ingest_loss <= tolerance
     }
 }
 
@@ -149,6 +168,25 @@ mod tests {
         assert_eq!(q.proxy_only_users, 0);
         assert_eq!(q.out_of_window_records, 0);
         assert!(q.is_healthy(0.01));
+    }
+
+    #[test]
+    fn ingest_losses_count_against_health() {
+        let db = DeviceDb::standard();
+        let catalog = AppCatalog::standard();
+        let sectors = SectorDirectory::new();
+        let proxy: Vec<ProxyRecord> = (0..7).map(|d| rec(&db, 1, d, "api.weather.com")).collect();
+        let store = TraceStore::from_records(proxy, vec![]);
+        let ctx = StudyContext::new(&store, &db, &sectors, &catalog, window());
+        let mut q = DataQualityReport::compute(&ctx);
+        assert!(q.is_healthy(0.05));
+        q.note_ingest(1000, 100);
+        assert_eq!(q.ingest_quarantined, 100);
+        assert!(
+            !q.is_healthy(0.05),
+            "10% quarantined must fail 5% tolerance"
+        );
+        assert!(q.is_healthy(0.2));
     }
 
     #[test]

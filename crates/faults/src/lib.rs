@@ -1,0 +1,29 @@
+//! `wearscope-faults`: deterministic fault injection for persisted worlds.
+//!
+//! `wearscope corrupt --world DIR --seed N --faults SPEC` mutates the
+//! world's `proxy.log`/`mme.log` in place with a chosen mix of the fault
+//! classes real log pipelines suffer — truncated tails, bit-flipped and
+//! garbage lines, duplicated and out-of-order records, CRLF mixing,
+//! deleted device-DB rows (IMEIs that no longer validate), and timestamp
+//! skew. Each class is individually addressable via the
+//! [`FaultSpec`] grammar (`all`, `bitflip=0.01,dup`, …).
+//!
+//! The corrupted world is a **pure function of (world, seed, spec)**: every
+//! class draws from its own [`rand::rngs::StdRng`] stream keyed by
+//! `(seed, class, file)`, so adding or removing one class never perturbs
+//! another's victims, and re-running with the same inputs reproduces the
+//! same bytes. That determinism is what lets the `fault_quarantine` golden
+//! test pin exact per-reason quarantine counts and lets `ci.sh` diff
+//! analysis output across worker counts on the same corrupted world.
+//!
+//! This crate only writes faults; detecting and quarantining them is
+//! `wearscope-ingest`'s job (see `crates/ingest/src/quarantine.rs`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod inject;
+pub mod spec;
+
+pub use inject::{corrupt_world, CorruptionReport, FileCorruption};
+pub use spec::{FaultClass, FaultSpec, ParseFaultSpecError, DEFAULT_RATE};

@@ -9,6 +9,7 @@
 //! folds a shard, never the shard contents, the merge order, or any float
 //! reduction (all deferred to finish — see `wearscope_core::merge`).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use crossbeam::{channel, thread};
@@ -19,9 +20,10 @@ use wearscope_core::merge::{
 };
 use wearscope_core::sessions::{attribute_records, AttributedTx};
 use wearscope_core::{CoreAggregates, StudyContext};
-use wearscope_report::{IngestReport, ShardProgress, ShardSource};
+use wearscope_report::{DataQuality, IngestReport, ShardFailure, ShardProgress, ShardSource};
 use wearscope_trace::{MmeRecord, ProxyRecord};
 
+use crate::error::IngestError;
 use crate::sharder::shard_store;
 
 /// Shards per worker: enough queue granularity that work stealing evens
@@ -129,19 +131,33 @@ impl IngestEngine {
     /// Computes every hot aggregate over `ctx`'s store with the worker
     /// pool. The result is bit-identical to
     /// [`CoreAggregates::sequential`] for any worker count.
-    pub fn compute(&self, ctx: &StudyContext<'_>) -> (CoreAggregates, IngestReport) {
+    ///
+    /// # Errors
+    /// [`IngestError::ShardFailed`] when a worker panicked while folding a
+    /// shard. The remaining shards still complete — the failure is caught
+    /// per shard, not per pool — but the partial result is discarded
+    /// rather than returned as a silently incomplete aggregate.
+    pub fn compute(
+        &self,
+        ctx: &StudyContext<'_>,
+    ) -> Result<(CoreAggregates, IngestReport), IngestError> {
+        enum Done {
+            Ok(usize, Box<ShardAggregates>, ShardProgress),
+            Failed(ShardFailure),
+        }
+
         let start = Instant::now();
         let shards = shard_store(ctx.store, self.workers * SHARDS_PER_WORKER);
         let tasks: Vec<usize> = (0..shards.len())
             .filter(|&i| !shards.shard_is_empty(i))
             .collect();
 
-        let mut slots: Vec<Option<(ShardAggregates, ShardProgress)>> = Vec::new();
+        let mut slots: Vec<Option<(Box<ShardAggregates>, ShardProgress)>> = Vec::new();
         slots.resize_with(shards.len(), || None);
+        let mut failures: Vec<ShardFailure> = Vec::new();
 
         let (task_tx, task_rx) = channel::bounded::<usize>(tasks.len().max(1));
-        let (result_tx, result_rx) =
-            channel::bounded::<(usize, ShardAggregates, ShardProgress)>(tasks.len().max(1));
+        let (result_tx, result_rx) = channel::bounded::<Done>(tasks.len().max(1));
 
         thread::scope(|s| {
             let shards = &shards;
@@ -151,16 +167,31 @@ impl IngestEngine {
                 s.spawn(move |_| {
                     for i in task_rx.iter() {
                         let t0 = Instant::now();
-                        let agg = ShardAggregates::fold(ctx, &shards.proxy[i], &shards.mme[i]);
-                        let progress = ShardProgress {
-                            shard: i,
-                            source: ShardSource::Memory,
-                            records: (shards.proxy[i].len() + shards.mme[i].len()) as u64,
-                            bytes: 0,
-                            parse_errors: 0,
-                            wall: t0.elapsed(),
+                        let folded = catch_unwind(AssertUnwindSafe(|| {
+                            #[cfg(test)]
+                            test_hooks::maybe_panic(ctx.store, i);
+                            ShardAggregates::fold(ctx, &shards.proxy[i], &shards.mme[i])
+                        }));
+                        let done = match folded {
+                            Ok(agg) => {
+                                let progress = ShardProgress {
+                                    shard: i,
+                                    source: ShardSource::Memory,
+                                    records: (shards.proxy[i].len() + shards.mme[i].len()) as u64,
+                                    bytes: 0,
+                                    parse_errors: 0,
+                                    wall: t0.elapsed(),
+                                };
+                                Done::Ok(i, Box::new(agg), progress)
+                            }
+                            Err(payload) => Done::Failed(ShardFailure {
+                                source: ShardSource::Memory,
+                                shard: i,
+                                panicked: true,
+                                detail: crate::load::panic_detail(payload.as_ref()),
+                            }),
                         };
-                        if result_tx.send((i, agg, progress)).is_err() {
+                        if result_tx.send(done).is_err() {
                             break;
                         }
                     }
@@ -168,15 +199,45 @@ impl IngestEngine {
             }
             drop(result_tx);
             for &i in &tasks {
-                // Workers outlive the queue, so send cannot fail.
-                task_tx.send(i).expect("worker pool hung up");
+                if task_tx.send(i).is_err() {
+                    break;
+                }
             }
             drop(task_tx);
-            for (i, agg, progress) in result_rx.iter() {
-                slots[i] = Some((agg, progress));
+            for done in result_rx.iter() {
+                match done {
+                    Done::Ok(i, agg, progress) => slots[i] = Some((agg, progress)),
+                    Done::Failed(f) => failures.push(f),
+                }
             }
         })
-        .expect("ingest worker panicked");
+        .map_err(|_| IngestError::ShardFailed {
+            source: ShardSource::Memory,
+            shard: 0,
+            panicked: true,
+            detail: "worker pool tore down outside a fold".into(),
+        })?;
+
+        for &i in &tasks {
+            if slots[i].is_none() && !failures.iter().any(|f| f.shard == i) {
+                failures.push(ShardFailure {
+                    source: ShardSource::Memory,
+                    shard: i,
+                    panicked: false,
+                    detail: "shard produced no result".into(),
+                });
+            }
+        }
+        if !failures.is_empty() {
+            failures.sort_by_key(|f| f.shard);
+            let f = failures.swap_remove(0);
+            return Err(IngestError::ShardFailed {
+                source: f.source,
+                shard: f.shard,
+                panicked: f.panicked,
+                detail: f.detail,
+            });
+        }
 
         // Merge in ascending shard index — the deterministic merge order
         // the Mergeable contract asks for.
@@ -184,16 +245,49 @@ impl IngestEngine {
         let mut progress = Vec::new();
         for slot in slots.into_iter().flatten() {
             let (agg, p) = slot;
-            merged.merge(agg);
+            merged.merge(*agg);
             progress.push(p);
         }
         let aggregates = merged.finish(ctx);
+        let records = (ctx.store.proxy().len() + ctx.store.mme().len()) as u64;
         let report = IngestReport {
             workers: self.workers,
             shards: progress,
+            quality: DataQuality {
+                // The compute phase starts from already-validated records;
+                // it sees and keeps all of them or fails above.
+                records_seen: records,
+                records_kept: records,
+                ..DataQuality::default()
+            },
             wall: start.elapsed(),
         };
-        (aggregates, report)
+        Ok((aggregates, report))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_hooks {
+    //! Fault injection for the pool tests: panic while folding a specific
+    //! shard of a specific store. Keyed by the store's address so tests
+    //! running concurrently in this binary never trip each other's hook.
+    use std::sync::Mutex;
+
+    use wearscope_trace::TraceStore;
+
+    pub(crate) static PANIC_ON: Mutex<Option<(usize, usize)>> = Mutex::new(None);
+
+    pub(super) fn maybe_panic(store: &TraceStore, shard: usize) {
+        // Copy and release the lock before panicking so the unwind does
+        // not poison the hook for the other tests in this binary.
+        let hook = *PANIC_ON
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some((addr, i)) = hook {
+            if std::ptr::from_ref(store) as usize == addr && shard == i {
+                panic!("injected fold fault");
+            }
+        }
     }
 }
 
@@ -271,7 +365,7 @@ mod tests {
         );
         let sequential = CoreAggregates::sequential(&ctx);
         for workers in [1, 2, 3, 8] {
-            let (parallel, report) = IngestEngine::new(workers).compute(&ctx);
+            let (parallel, report) = IngestEngine::new(workers).compute(&ctx).unwrap();
             assert_eq!(parallel.activity, sequential.activity, "workers={workers}");
             assert_eq!(parallel.hourly, sequential.hourly, "workers={workers}");
             assert_eq!(parallel.tx_stats, sequential.tx_stats, "workers={workers}");
@@ -307,10 +401,47 @@ mod tests {
             &catalog,
             ObservationWindow::compact(),
         );
-        let (aggs, report) = IngestEngine::new(4).compute(&ctx);
+        let (aggs, report) = IngestEngine::new(4).compute(&ctx).unwrap();
         assert!(aggs.activity.is_empty());
         assert!(aggs.attributed.is_empty());
         assert_eq!(report.records(), 0);
         assert!(report.shards.is_empty());
+    }
+
+    #[test]
+    fn panicking_fold_shard_is_reported_not_fatal() {
+        let (store, db, sectors, catalog) = world();
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::new(14, 14, Calendar::PAPER),
+        );
+        // Poison the first non-empty shard of *this* store only.
+        let engine = IngestEngine::new(4);
+        let shards = shard_store(&store, engine.workers() * SHARDS_PER_WORKER);
+        let victim = (0..shards.len())
+            .find(|&i| !shards.shard_is_empty(i))
+            .expect("sample world has records");
+        *test_hooks::PANIC_ON.lock().unwrap() = Some((std::ptr::from_ref(&store) as usize, victim));
+        let result = engine.compute(&ctx);
+        *test_hooks::PANIC_ON.lock().unwrap() = None;
+        match result {
+            Err(IngestError::ShardFailed {
+                source,
+                shard,
+                panicked,
+                ..
+            }) => {
+                assert_eq!(source, ShardSource::Memory);
+                assert_eq!(shard, victim);
+                assert!(panicked);
+            }
+            other => panic!("expected ShardFailed, got {:?}", other.map(|_| ())),
+        }
+        // Clean run right after — the engine carries no poisoned state.
+        let (aggs, _) = engine.compute(&ctx).unwrap();
+        assert_eq!(aggs.attributed, CoreAggregates::sequential(&ctx).attributed);
     }
 }

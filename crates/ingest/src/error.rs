@@ -1,0 +1,183 @@
+//! Typed errors for the resilient ingestion path.
+
+use core::fmt;
+use std::io;
+
+use wearscope_report::ShardSource;
+
+/// Why a resilient load or compute run failed.
+///
+/// Per-record problems never surface here — they are quarantined and
+/// reported in the [`DataQuality`](wearscope_report::DataQuality) section.
+/// This type covers the failures that make the run's output untrustworthy:
+/// whole shards lost, or corruption past the error budget.
+#[derive(Debug)]
+pub enum IngestError {
+    /// A filesystem error outside any shard (opening the logs, planning
+    /// shards, writing `quarantine.log`).
+    Io(io::Error),
+    /// The quarantined fraction of a log exceeded `--max-error-rate`.
+    /// Names the shard contributing the most quarantined records.
+    ErrorBudget {
+        /// Which log blew the budget.
+        source: ShardSource,
+        /// The worst-offending shard of that log.
+        shard: usize,
+        /// Records quarantined across the log.
+        quarantined: u64,
+        /// Records seen across the log.
+        seen: u64,
+        /// The configured budget (fraction).
+        budget: f64,
+    },
+    /// One or more shards failed outright — a worker panic or an I/O error
+    /// that survived the retry budget. The remaining shards completed;
+    /// this names the first failed shard.
+    ShardFailed {
+        /// Which log (or in-memory partition) the shard belonged to.
+        source: ShardSource,
+        /// The failed shard's index.
+        shard: usize,
+        /// `true` for a panic, `false` for a persistent I/O error.
+        panicked: bool,
+        /// Failure detail (panic payload or I/O message).
+        detail: String,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "I/O error: {e}"),
+            IngestError::ErrorBudget {
+                source,
+                shard,
+                quarantined,
+                seen,
+                budget,
+            } => write!(
+                f,
+                "{} log: {quarantined}/{seen} records quarantined ({:.3}%), over the \
+                 --max-error-rate budget of {:.3}% (worst shard: {} shard {shard})",
+                source.name(),
+                *quarantined as f64 / (*seen).max(1) as f64 * 100.0,
+                budget * 100.0,
+                source.name(),
+            ),
+            IngestError::ShardFailed {
+                source,
+                shard,
+                panicked,
+                detail,
+            } => write!(
+                f,
+                "{} shard {shard} {}: {detail} (remaining shards completed)",
+                source.name(),
+                if *panicked { "panicked" } else { "failed" },
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> IngestError {
+        IngestError::Io(e)
+    }
+}
+
+/// Retries `f` with exponential backoff on transient I/O errors
+/// (`Interrupted`, `WouldBlock`, `TimedOut`) — the kinds a loaded NFS mount
+/// or signal-heavy host throws at long shard reads. Non-transient errors
+/// and the final attempt's error propagate unchanged.
+pub(crate) fn with_io_retry<T>(mut f: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    const ATTEMPTS: u32 = 3;
+    let mut delay = std::time::Duration::from_millis(5);
+    for attempt in 0..ATTEMPTS {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e)
+                if attempt + 1 < ATTEMPTS
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::Interrupted
+                            | io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                std::thread::sleep(delay);
+                delay *= 2;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("loop returns on the last attempt")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_recovers_from_transient_errors() {
+        let mut failures = 2;
+        let out = with_io_retry(|| {
+            if failures > 0 {
+                failures -= 1;
+                Err(io::Error::new(io::ErrorKind::Interrupted, "signal"))
+            } else {
+                Ok(42)
+            }
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn retry_gives_up_after_budget() {
+        let err = with_io_retry::<()>(|| Err(io::Error::new(io::ErrorKind::TimedOut, "slow")))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn retry_does_not_mask_real_errors() {
+        let mut calls = 0;
+        let err = with_io_retry::<()>(|| {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::NotFound, "gone"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn error_display_names_the_shard() {
+        let e = IngestError::ErrorBudget {
+            source: ShardSource::Proxy,
+            shard: 7,
+            quarantined: 30,
+            seen: 1000,
+            budget: 0.01,
+        };
+        let s = e.to_string();
+        assert!(s.contains("proxy shard 7"), "{s}");
+        assert!(s.contains("30/1000"), "{s}");
+        let e = IngestError::ShardFailed {
+            source: ShardSource::Mme,
+            shard: 2,
+            panicked: true,
+            detail: "poisoned".into(),
+        };
+        assert!(e.to_string().contains("mme shard 2 panicked"));
+    }
+}

@@ -19,25 +19,41 @@
 //!   (byte-range shard *planning* for persisted logs lives in
 //!   [`wearscope_trace::shard`]);
 //! * [`load`] — parallel loading of persisted `proxy.log`/`mme.log` files
-//!   by byte-range shards;
+//!   by byte-range shards, in two flavours: [`load_store_resilient`]
+//!   quarantines per-record faults (malformed lines, duplicates, timestamp
+//!   regressions, clock skew, invalid IMEIs) up to an error budget, while
+//!   [`load_store_parallel`] keeps the legacy all-or-nothing contract;
+//! * [`quarantine`] — the per-record validation pass and the typed
+//!   [`QuarantineReason`](wearscope_report::QuarantineReason) ledger
+//!   written to `quarantine.log`;
 //! * [`engine`] — a scoped-thread worker pool (bounded-channel work queue,
 //!   workers compete for shards) producing a
 //!   [`CoreAggregates`](wearscope_core::CoreAggregates) plus an
 //!   [`IngestReport`](wearscope_report::IngestReport) of per-shard progress.
 //!
-//! `wearscope analyze --workers N` wires these together; `--workers 1`
-//! takes the legacy sequential path and the engine is proven byte-identical
-//! to it by the `ingest_determinism` property tests.
+//! Workers run each shard under `catch_unwind` with bounded I/O retry, so
+//! a poisoned shard surfaces as a typed [`IngestError::ShardFailed`] after
+//! the remaining shards complete. Quarantine decisions depend only on file
+//! content and file order — never shard layout — so resilient loads are
+//! bit-identical for every worker count, corrupted input included.
+//!
+//! `wearscope analyze --workers N` wires these together; the engine is
+//! proven byte-identical to the sequential path by the
+//! `ingest_determinism` property tests, clean and corrupted worlds alike.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod error;
 pub mod load;
+pub mod quarantine;
 pub mod sharder;
 
 pub use engine::IngestEngine;
-pub use load::load_store_parallel;
+pub use error::IngestError;
+pub use load::{load_store_parallel, load_store_resilient};
+pub use quarantine::{IngestOptions, DEFAULT_MAX_ERROR_RATE};
 pub use sharder::{shard_store, MemoryShards};
 
 /// The number of available CPUs — the default for `--workers`.

@@ -6,23 +6,43 @@
 //! resulting [`TraceStore`] is identical to a sequential
 //! [`TraceStore::load`] for any worker count.
 //!
-//! Shard readers are lenient-but-counting — a malformed line is recorded,
-//! not fatal, so one bad byte range cannot poison a whole worker — but the
-//! *load* keeps the legacy all-or-nothing contract: if any shard reported
-//! parse errors the load fails, with the counts in the error message.
+//! Two contracts are offered over the same pool:
+//!
+//! * [`load_store_resilient`] — **quarantine and degrade**. Malformed
+//!   lines, duplicates, timestamp regressions, clock skew, and invalid
+//!   IMEIs are quarantined per record (see [`crate::quarantine`]) and the
+//!   load succeeds on the survivors, up to the `--max-error-rate` budget.
+//!   Workers retry transient I/O errors with backoff and run under
+//!   `catch_unwind`, so a poisoned shard is recorded as failed while the
+//!   remaining shards complete.
+//! * [`load_store_parallel`] — the legacy all-or-nothing contract: any
+//!   malformed line fails the load with the counts in the error message.
+//!
+//! Every quarantine decision is a function of file content and file order
+//! only — never of shard layout or scheduling — so resilient loads are
+//! bit-identical for every worker count, corrupted input included.
 
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::time::Instant;
 
 use crossbeam::{channel, thread};
 
-use wearscope_report::{IngestReport, ShardProgress, ShardSource};
+use wearscope_report::{
+    DataQuality, IngestReport, QuarantineCounts, ShardFailure, ShardProgress, ShardSource,
+};
 use wearscope_trace::{
-    plan_tsv_shards, read_tsv_shard, ByteRange, MmeRecord, ProxyRecord, TraceStore, TsvShard,
+    plan_tsv_shards, read_tsv_shard, ByteRange, MmeRecord, ProxyRecord, TraceStore, TsvRecord,
+    TsvShard,
 };
 
 use crate::engine::SHARDS_PER_WORKER;
+use crate::error::{with_io_retry, IngestError};
+use crate::quarantine::{
+    reason_for_codec, validate_source, write_quarantine_log, IngestOptions, Position,
+    QuarantineEntry, ValidatedRecord,
+};
 
 #[derive(Debug)]
 enum Task {
@@ -33,15 +53,41 @@ enum Task {
 enum Done {
     Proxy(usize, TsvShard<ProxyRecord>, ShardProgress),
     Mme(usize, TsvShard<MmeRecord>, ShardProgress),
+    Failed(ShardFailure),
 }
 
-/// Loads the store under `dir` (as written by `TraceStore::save`) with a
-/// pool of `workers` shard readers.
+/// Loads the store under `dir` with the legacy all-or-nothing contract.
 ///
 /// # Errors
 /// Propagates I/O errors, and fails with [`io::ErrorKind::InvalidData`] if
 /// any shard contained malformed lines.
 pub fn load_store_parallel(dir: &Path, workers: usize) -> io::Result<(TraceStore, IngestReport)> {
+    match load_store_resilient(dir, workers, &IngestOptions::strict()) {
+        Ok(out) => Ok(out),
+        Err(IngestError::ErrorBudget { quarantined, .. }) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{quarantined} malformed log lines under {}", dir.display()),
+        )),
+        Err(IngestError::Io(e)) => Err(e),
+        Err(e) => Err(io::Error::other(e.to_string())),
+    }
+}
+
+/// Loads the store under `dir` (as written by `TraceStore::save`) with a
+/// pool of `workers` shard readers, quarantining per-record faults per
+/// `opts` instead of aborting.
+///
+/// # Errors
+/// [`IngestError::Io`] for filesystem errors outside the shards,
+/// [`IngestError::ShardFailed`] when a shard panicked or exhausted its I/O
+/// retries (the remaining shards still complete), and
+/// [`IngestError::ErrorBudget`] when a log's quarantined fraction exceeds
+/// `opts.max_error_rate` (`quarantine.log` is still written first).
+pub fn load_store_resilient(
+    dir: &Path,
+    workers: usize,
+    opts: &IngestOptions,
+) -> Result<(TraceStore, IngestReport), IngestError> {
     let workers = workers.max(1);
     let start = Instant::now();
     let proxy_path = dir.join("proxy.log");
@@ -62,9 +108,10 @@ pub fn load_store_parallel(dir: &Path, workers: usize) -> io::Result<(TraceStore
     let mut mme_slots: Vec<Option<TsvShard<MmeRecord>>> = Vec::new();
     mme_slots.resize_with(mme_plan.len(), || None);
     let mut progress: Vec<ShardProgress> = Vec::new();
+    let mut failures: Vec<ShardFailure> = Vec::new();
 
     let (task_tx, task_rx) = channel::bounded::<Task>(tasks.len().max(1));
-    let (result_tx, result_rx) = channel::bounded::<io::Result<Done>>(tasks.len().max(1));
+    let (result_tx, result_rx) = channel::bounded::<Done>(tasks.len().max(1));
 
     thread::scope(|s| {
         let proxy_path = &proxy_path;
@@ -74,20 +121,7 @@ pub fn load_store_parallel(dir: &Path, workers: usize) -> io::Result<(TraceStore
             let result_tx = result_tx.clone();
             s.spawn(move |_| {
                 for task in task_rx.iter() {
-                    let t0 = Instant::now();
-                    let done = match task {
-                        Task::Proxy(i, range) => read_tsv_shard::<ProxyRecord>(proxy_path, range)
-                            .map(|shard| {
-                                let p = shard_progress(i, ShardSource::Proxy, &shard, t0);
-                                Done::Proxy(i, shard, p)
-                            }),
-                        Task::Mme(i, range) => {
-                            read_tsv_shard::<MmeRecord>(mme_path, range).map(|shard| {
-                                let p = shard_progress(i, ShardSource::Mme, &shard, t0);
-                                Done::Mme(i, shard, p)
-                            })
-                        }
-                    };
+                    let done = run_task(proxy_path, mme_path, task);
                     if result_tx.send(done).is_err() {
                         break;
                     }
@@ -96,60 +130,259 @@ pub fn load_store_parallel(dir: &Path, workers: usize) -> io::Result<(TraceStore
         }
         drop(result_tx);
         for task in tasks {
-            // Workers outlive the queue, so send cannot fail.
-            task_tx.send(task).expect("shard reader pool hung up");
+            if task_tx.send(task).is_err() {
+                // All receivers gone; the missing-slot check below reports
+                // the shards that never ran.
+                break;
+            }
         }
         drop(task_tx);
-        let mut first_err: Option<io::Error> = None;
         for done in result_rx.iter() {
             match done {
-                Ok(Done::Proxy(i, shard, p)) => {
+                Done::Proxy(i, shard, p) => {
                     proxy_slots[i] = Some(shard);
                     progress.push(p);
                 }
-                Ok(Done::Mme(i, shard, p)) => {
+                Done::Mme(i, shard, p) => {
                     mme_slots[i] = Some(shard);
                     progress.push(p);
                 }
-                Err(e) => first_err = first_err.or(Some(e)),
+                Done::Failed(f) => failures.push(f),
             }
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
     })
-    .expect("shard reader panicked")?;
+    .map_err(|_| IngestError::Io(io::Error::other("shard reader pool panicked")))?;
 
-    // Legacy strictness: the counters stay informative, the load does not.
-    let parse_errors: u64 = progress.iter().map(|p| p.parse_errors).sum();
-    if parse_errors > 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("{parse_errors} malformed log lines under {}", dir.display()),
-        ));
+    // A shard with neither a result nor a recorded failure never ran.
+    note_missing_slots(&proxy_slots, ShardSource::Proxy, &mut failures);
+    note_missing_slots(&mme_slots, ShardSource::Mme, &mut failures);
+    if !failures.is_empty() {
+        // Deterministic pick regardless of which worker reported first.
+        failures.sort_by_key(|f| (f.source != ShardSource::Proxy, f.shard));
+        let f = failures.swap_remove(0);
+        return Err(IngestError::ShardFailed {
+            source: f.source,
+            shard: f.shard,
+            panicked: f.panicked,
+            detail: f.detail,
+        });
     }
+
+    let proxy = process_source(ShardSource::Proxy, proxy_slots, opts);
+    let mme = process_source(ShardSource::Mme, mme_slots, opts);
+
+    if let Some(path) = &opts.quarantine_log {
+        if proxy.entries.is_empty() && mme.entries.is_empty() {
+            match std::fs::remove_file(path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(IngestError::Io(e)),
+            }
+        } else {
+            let mut entries = proxy.entries.clone();
+            entries.extend(mme.entries.iter().cloned());
+            write_quarantine_log(path, &entries)?;
+        }
+    }
+
+    check_budget(ShardSource::Proxy, &proxy, opts)?;
+    check_budget(ShardSource::Mme, &mme, opts)?;
+
+    let mut quarantined = proxy.counts;
+    quarantined.merge(&mme.counts);
+    let quality = DataQuality {
+        records_seen: proxy.seen + mme.seen,
+        records_kept: (proxy.kept.len() + mme.kept.len()) as u64,
+        quarantined,
+        failed_shards: Vec::new(),
+        max_error_rate: opts.max_error_rate,
+    };
 
     // Concatenate in shard-index order = file order; `from_records`' stable
     // time sort then reproduces the sequential load exactly.
     progress.sort_by_key(|p| (p.source != ShardSource::Proxy, p.shard));
-    let proxy: Vec<ProxyRecord> = proxy_slots
-        .into_iter()
-        .flatten()
-        .flat_map(|s| s.records)
-        .collect();
-    let mme: Vec<MmeRecord> = mme_slots
-        .into_iter()
-        .flatten()
-        .flat_map(|s| s.records)
-        .collect();
-    let store = TraceStore::from_records(proxy, mme);
+    let store = TraceStore::from_records(proxy.kept, mme.kept);
     let report = IngestReport {
         workers,
         shards: progress,
+        quality,
         wall: start.elapsed(),
     };
     Ok((store, report))
+}
+
+/// Reads one shard inside the worker: transient I/O errors are retried
+/// with backoff, and panics are caught so a poisoned shard becomes a
+/// recorded [`ShardFailure`] instead of tearing the pool down.
+fn run_task(proxy_path: &Path, mme_path: &Path, task: Task) -> Done {
+    let t0 = Instant::now();
+    match task {
+        Task::Proxy(i, range) => {
+            match guarded_read::<ProxyRecord>(proxy_path, range, ShardSource::Proxy, i) {
+                Ok(shard) => {
+                    let p = shard_progress(i, ShardSource::Proxy, &shard, t0);
+                    Done::Proxy(i, shard, p)
+                }
+                Err(f) => Done::Failed(f),
+            }
+        }
+        Task::Mme(i, range) => {
+            match guarded_read::<MmeRecord>(mme_path, range, ShardSource::Mme, i) {
+                Ok(shard) => {
+                    let p = shard_progress(i, ShardSource::Mme, &shard, t0);
+                    Done::Mme(i, shard, p)
+                }
+                Err(f) => Done::Failed(f),
+            }
+        }
+    }
+}
+
+fn guarded_read<R: TsvRecord>(
+    path: &Path,
+    range: ByteRange,
+    source: ShardSource,
+    shard: usize,
+) -> Result<TsvShard<R>, ShardFailure> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(test)]
+        test_hooks::maybe_panic(path, source, shard);
+        with_io_retry(|| read_tsv_shard::<R>(path, range))
+    }));
+    match outcome {
+        Ok(Ok(shard)) => Ok(shard),
+        Ok(Err(e)) => Err(ShardFailure {
+            source,
+            shard,
+            panicked: false,
+            detail: e.to_string(),
+        }),
+        Err(payload) => Err(ShardFailure {
+            source,
+            shard,
+            panicked: true,
+            detail: panic_detail(payload.as_ref()),
+        }),
+    }
+}
+
+pub(crate) fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".into()
+    }
+}
+
+fn note_missing_slots<R>(
+    slots: &[Option<TsvShard<R>>],
+    source: ShardSource,
+    failures: &mut Vec<ShardFailure>,
+) {
+    for (i, slot) in slots.iter().enumerate() {
+        if slot.is_none() && !failures.iter().any(|f| f.source == source && f.shard == i) {
+            failures.push(ShardFailure {
+                source,
+                shard: i,
+                panicked: false,
+                detail: "shard produced no result".into(),
+            });
+        }
+    }
+}
+
+/// One log's post-pool outcome: survivors plus the quarantine ledger.
+struct SourceOutcome<R> {
+    kept: Vec<R>,
+    /// Non-blank lines attempted: parsed records + malformed lines.
+    seen: u64,
+    counts: QuarantineCounts,
+    entries: Vec<QuarantineEntry>,
+    /// Quarantined records attributed to the shard they came from.
+    per_shard_quarantined: Vec<u64>,
+}
+
+/// Concatenates one source's shards in file order, turning shard-local
+/// parse errors into global quarantine entries and (optionally) running
+/// the content checks over the parsed records.
+fn process_source<R: ValidatedRecord>(
+    source: ShardSource,
+    slots: Vec<Option<TsvShard<R>>>,
+    opts: &IngestOptions,
+) -> SourceOutcome<R> {
+    let mut counts = QuarantineCounts::default();
+    let mut entries = Vec::new();
+    let mut per_shard = vec![0u64; slots.len()];
+    let mut records: Vec<R> = Vec::new();
+    // Exclusive prefix record counts, for record-index → shard attribution.
+    let mut records_before: Vec<u64> = Vec::with_capacity(slots.len());
+    let mut line_base = 0u64;
+    let mut parse_errors = 0u64;
+    for (idx, shard) in slots.into_iter().flatten().enumerate() {
+        for (local_line, error) in &shard.errors {
+            let reason = reason_for_codec(error);
+            counts.note(reason);
+            per_shard[idx] += 1;
+            entries.push(QuarantineEntry {
+                source,
+                position: Position::Line(line_base + local_line),
+                reason,
+                detail: error.to_string(),
+            });
+        }
+        parse_errors += shard.errors.len() as u64;
+        line_base += shard.lines;
+        records_before.push(records.len() as u64);
+        records.extend(shard.records);
+    }
+    let seen = records.len() as u64 + parse_errors;
+    let kept = if opts.content_checks {
+        let validated = validate_source(records, source, opts, &mut counts, &mut entries);
+        for &ri in &validated.quarantined_indices {
+            let shard_idx = records_before
+                .partition_point(|&b| b <= ri)
+                .saturating_sub(1);
+            per_shard[shard_idx] += 1;
+        }
+        validated.kept
+    } else {
+        records
+    };
+    SourceOutcome {
+        kept,
+        seen,
+        counts,
+        entries,
+        per_shard_quarantined: per_shard,
+    }
+}
+
+fn check_budget<R>(
+    source: ShardSource,
+    outcome: &SourceOutcome<R>,
+    opts: &IngestOptions,
+) -> Result<(), IngestError> {
+    let quarantined = outcome.counts.total();
+    if outcome.seen == 0 || quarantined as f64 / outcome.seen as f64 <= opts.max_error_rate {
+        return Ok(());
+    }
+    // Name the shard contributing the most quarantined records (first on
+    // ties) — where an operator should start looking.
+    let shard = outcome
+        .per_shard_quarantined
+        .iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+        .map_or(0, |(i, _)| i);
+    Err(IngestError::ErrorBudget {
+        source,
+        shard,
+        quarantined,
+        seen: outcome.seen,
+        budget: opts.max_error_rate,
+    })
 }
 
 fn shard_progress<R>(
@@ -169,17 +402,49 @@ fn shard_progress<R>(
 }
 
 #[cfg(test)]
+pub(crate) mod test_hooks {
+    //! Deterministic fault injection for the pool tests: panic when a
+    //! specific (file, source, shard) is read. Keyed by the log file's
+    //! path so concurrently running tests (each with its own temp dir)
+    //! never trip each other's hook.
+    use std::path::{Path, PathBuf};
+    use std::sync::Mutex;
+
+    use wearscope_report::ShardSource;
+
+    pub(crate) static PANIC_ON: Mutex<Option<(PathBuf, ShardSource, usize)>> = Mutex::new(None);
+
+    pub(super) fn maybe_panic(path: &Path, source: ShardSource, shard: usize) {
+        // Clone and release the lock before panicking so the unwind does
+        // not poison the hook for the other tests in this binary.
+        let hook = PANIC_ON
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        if let Some((p, s, i)) = hook {
+            if p == path && s == source && i == shard {
+                panic!("injected shard fault");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
+    use wearscope_report::QuarantineReason;
     use wearscope_simtime::SimTime;
     use wearscope_trace::{MmeEvent, Scheme, UserId};
 
     fn sample_store() -> TraceStore {
+        let db = wearscope_devicedb::DeviceDb::standard();
         let proxy = (0..500u64)
             .map(|i| ProxyRecord {
                 timestamp: SimTime::from_secs(i * 37),
                 user: UserId(i % 11),
-                imei: 100 + i % 11,
+                imei: db
+                    .example_imei(db.wearable_tacs()[0], (i % 11) as u32)
+                    .as_u64(),
                 host: format!("host-{}.example.com", i % 5),
                 scheme: if i % 2 == 0 {
                     Scheme::Https
@@ -194,7 +459,9 @@ mod tests {
             .map(|i| MmeRecord {
                 timestamp: SimTime::from_secs(i * 91),
                 user: UserId(i % 11),
-                imei: 100 + i % 11,
+                imei: db
+                    .example_imei(db.wearable_tacs()[0], (i % 11) as u32)
+                    .as_u64(),
                 event: if i % 5 == 4 {
                     MmeEvent::Detach
                 } else {
@@ -206,10 +473,31 @@ mod tests {
         TraceStore::from_records(proxy, mme)
     }
 
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("wearscope-pload-{tag}-{}", std::process::id()))
+    }
+
+    /// Replaces the `victim`-th proxy line with `replacement`.
+    fn replace_proxy_line(dir: &Path, victim: usize, replacement: &str) {
+        let path = dir.join("proxy.log");
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        let mut out = String::new();
+        for (i, line) in lines.iter().enumerate() {
+            if i == victim {
+                out.push_str(replacement);
+            } else {
+                out.push_str(line);
+            }
+            out.push('\n');
+        }
+        std::fs::write(&path, out).unwrap();
+    }
+
     #[test]
     fn parallel_load_equals_sequential_load() {
         let store = sample_store();
-        let dir = std::env::temp_dir().join(format!("wearscope-pload-{}", std::process::id()));
+        let dir = temp_dir("eq");
         store.save(&dir).unwrap();
         let sequential = TraceStore::load(&dir).unwrap();
         for workers in [1, 2, 5] {
@@ -229,20 +517,173 @@ mod tests {
     #[test]
     fn malformed_line_fails_the_load_with_counts() {
         let store = sample_store();
-        let dir = std::env::temp_dir().join(format!("wearscope-pload-bad-{}", std::process::id()));
+        let dir = temp_dir("bad");
         store.save(&dir).unwrap();
-        // Corrupt one line in the middle of the proxy log.
-        let path = dir.join("proxy.log");
-        let mut content = std::fs::read_to_string(&path).unwrap();
-        let mid = content.len() / 2;
-        let line_start = content[..mid].rfind('\n').unwrap() + 1;
-        let line_end = content[line_start..].find('\n').unwrap() + line_start;
-        content.replace_range(line_start..line_end, "not\ta\tvalid\trecord");
-        std::fs::write(&path, content).unwrap();
-
+        replace_proxy_line(&dir, 250, "not\ta\tvalid\trecord");
         let err = load_store_parallel(&dir, 4).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("1 malformed"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resilient_load_quarantines_and_stays_deterministic() {
+        let store = sample_store();
+        let dir = temp_dir("resilient");
+        store.save(&dir).unwrap();
+        // One garbage line, one duplicated line, one out-of-order swap.
+        let path = dir.join("proxy.log");
+        let content = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = content.lines().map(str::to_string).collect();
+        lines[100] = "garbage line".into();
+        let dup = lines[200].clone();
+        lines.insert(201, dup);
+        lines.swap(300, 301);
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        let opts = IngestOptions {
+            quarantine_log: Some(dir.join("quarantine.log")),
+            ..IngestOptions::default()
+        };
+        let mut baseline: Option<(TraceStore, Vec<u64>)> = None;
+        for workers in [1, 2, 5, 8] {
+            let (loaded, report) = load_store_resilient(&dir, workers, &opts).unwrap();
+            let q = &report.quality;
+            assert_eq!(q.quarantined.get(QuarantineReason::BadField), 1);
+            assert_eq!(q.quarantined.get(QuarantineReason::Duplicate), 1);
+            assert_eq!(q.quarantined.get(QuarantineReason::OutOfOrder), 1);
+            assert_eq!(q.records_seen, 701);
+            assert_eq!(q.records_kept, 698);
+            let counts: Vec<u64> = wearscope_report::QuarantineReason::ALL
+                .iter()
+                .map(|r| q.quarantined.get(*r))
+                .collect();
+            match &baseline {
+                None => baseline = Some((loaded, counts)),
+                Some((first, first_counts)) => {
+                    assert_eq!(loaded.proxy(), first.proxy(), "workers={workers}");
+                    assert_eq!(loaded.mme(), first.mme(), "workers={workers}");
+                    assert_eq!(&counts, first_counts, "workers={workers}");
+                }
+            }
+        }
+        let log = std::fs::read_to_string(dir.join("quarantine.log")).unwrap();
+        assert_eq!(log.lines().count(), 3, "{log}");
+        assert!(log.contains("bad-field"), "{log}");
+        assert!(log.contains("duplicate"), "{log}");
+        assert!(log.contains("out-of-order"), "{log}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_resilient_load_removes_stale_quarantine_log() {
+        let store = sample_store();
+        let dir = temp_dir("cleanlog");
+        store.save(&dir).unwrap();
+        std::fs::write(dir.join("quarantine.log"), "stale\n").unwrap();
+        let opts = IngestOptions {
+            quarantine_log: Some(dir.join("quarantine.log")),
+            ..IngestOptions::default()
+        };
+        let (_, report) = load_store_resilient(&dir, 3, &opts).unwrap();
+        assert!(report.quality.quarantined.is_empty());
+        assert!(!dir.join("quarantine.log").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_budget_failure_names_offending_shard() {
+        let store = sample_store();
+        let dir = temp_dir("budget");
+        store.save(&dir).unwrap();
+        // Corrupt ~4% of proxy lines — over the default 1% budget.
+        let path = dir.join("proxy.log");
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<String> = content
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i % 25 == 0 {
+                    "xx".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect();
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let err = load_store_resilient(&dir, 4, &IngestOptions::default()).unwrap_err();
+        match err {
+            IngestError::ErrorBudget {
+                source,
+                quarantined,
+                seen,
+                ..
+            } => {
+                assert_eq!(source, ShardSource::Proxy);
+                assert_eq!(quarantined, 20);
+                assert_eq!(seen, 500);
+            }
+            other => panic!("expected ErrorBudget, got {other}"),
+        }
+        // The quarantine log was still written for the post-mortem.
+        let opts = IngestOptions {
+            quarantine_log: Some(dir.join("quarantine.log")),
+            ..IngestOptions::default()
+        };
+        assert!(load_store_resilient(&dir, 4, &opts).is_err());
+        assert_eq!(
+            std::fs::read_to_string(dir.join("quarantine.log"))
+                .unwrap()
+                .lines()
+                .count(),
+            20
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_logs_load_cleanly() {
+        let dir = temp_dir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("proxy.log"), "").unwrap();
+        std::fs::write(dir.join("mme.log"), "").unwrap();
+        for workers in [1, 4] {
+            let (store, report) =
+                load_store_resilient(&dir, workers, &IngestOptions::default()).unwrap();
+            assert!(store.is_empty());
+            assert_eq!(report.quality.records_seen, 0);
+            assert_eq!(report.quality.coverage(), 1.0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panicking_shard_is_isolated_and_reported() {
+        let store = sample_store();
+        let dir = temp_dir("panic");
+        store.save(&dir).unwrap();
+        let proxy_path = dir.join("proxy.log");
+        *test_hooks::PANIC_ON.lock().unwrap() = Some((proxy_path.clone(), ShardSource::Proxy, 1));
+        let result = load_store_resilient(&dir, 4, &IngestOptions::default());
+        *test_hooks::PANIC_ON.lock().unwrap() = None;
+        match result {
+            Err(IngestError::ShardFailed {
+                source,
+                shard,
+                panicked,
+                detail,
+            }) => {
+                assert_eq!(source, ShardSource::Proxy);
+                assert_eq!(shard, 1);
+                assert!(panicked);
+                assert!(detail.contains("injected"), "{detail}");
+            }
+            other => panic!("expected ShardFailed, got {:?}", other.map(|_| ())),
+        }
+        // The same world loads fine once the poison is gone: the pool was
+        // not torn down permanently.
+        let (loaded, _) = load_store_resilient(&dir, 4, &IngestOptions::default()).unwrap();
+        assert_eq!(loaded.len(), store.len());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

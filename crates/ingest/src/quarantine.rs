@@ -1,0 +1,392 @@
+//! Quarantine-and-degrade record validation.
+//!
+//! Per-record defects are quarantined — written to `quarantine.log` with a
+//! typed [`QuarantineReason`] — instead of aborting the load. Two layers:
+//!
+//! * **Parse faults** (shard-local): malformed lines collected by the shard
+//!   readers, mapped to `Truncated`/`BadField` by [`reason_for_codec`].
+//! * **Content faults** (global): duplicates, timestamp regressions, clock
+//!   skew, and structurally invalid IMEIs, decided by [`validate_source`]
+//!   over the concatenated records **in file order**. Because shard ranges
+//!   partition the file exactly and all sequence state (high-water mark,
+//!   duplicate set) is rebuilt in that order on the merge thread, every
+//!   quarantine decision is independent of worker count and shard layout —
+//!   the determinism contract the `ingest_determinism` proptests pin down.
+
+use std::collections::HashSet;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use wearscope_devicedb::Imei;
+use wearscope_report::{QuarantineCounts, QuarantineReason, ShardSource};
+use wearscope_simtime::SimTime;
+use wearscope_trace::{CodecError, MmeRecord, ProxyRecord};
+
+/// Knobs for the resilient loader.
+#[derive(Clone, Debug)]
+pub struct IngestOptions {
+    /// Abort when a log's quarantined fraction exceeds this budget
+    /// (`--max-error-rate`; default 1%).
+    pub max_error_rate: f64,
+    /// Horizon for the clock-skew check: records stamped after this are
+    /// quarantined as `Skewed`. `None` disables the check.
+    pub max_timestamp: Option<SimTime>,
+    /// Where to write `quarantine.log` (`None` = don't write).
+    pub quarantine_log: Option<PathBuf>,
+    /// Run the content checks (duplicate / out-of-order / skew / IMEI).
+    /// The legacy strict loader disables them.
+    pub content_checks: bool,
+}
+
+/// The default `--max-error-rate`: abort above 1% quarantined.
+pub const DEFAULT_MAX_ERROR_RATE: f64 = 0.01;
+
+impl Default for IngestOptions {
+    fn default() -> IngestOptions {
+        IngestOptions {
+            max_error_rate: DEFAULT_MAX_ERROR_RATE,
+            max_timestamp: None,
+            quarantine_log: None,
+            content_checks: true,
+        }
+    }
+}
+
+impl IngestOptions {
+    /// Zero tolerance, parse checks only — the legacy all-or-nothing
+    /// contract of [`crate::load_store_parallel`].
+    pub fn strict() -> IngestOptions {
+        IngestOptions {
+            max_error_rate: 0.0,
+            max_timestamp: None,
+            quarantine_log: None,
+            content_checks: false,
+        }
+    }
+
+    /// Options for analyzing the world under `dir`: quarantine log beside
+    /// the data, and a skew horizon derived from `manifest.tsv`'s window
+    /// (summary days + 2 days of slack) when the manifest is readable.
+    pub fn for_world(dir: &Path) -> IngestOptions {
+        let mut opts = IngestOptions {
+            quarantine_log: Some(dir.join("quarantine.log")),
+            ..IngestOptions::default()
+        };
+        if let Ok(manifest) = std::fs::read_to_string(dir.join("manifest.tsv")) {
+            for line in manifest.lines() {
+                if let Some((k, v)) = line.split_once('\t') {
+                    if k == "summary_days" {
+                        if let Ok(days) = v.trim().parse::<u64>() {
+                            opts.max_timestamp = Some(SimTime::from_days(days + 2));
+                        }
+                    }
+                }
+            }
+        }
+        opts
+    }
+
+    /// Same options with a different error budget.
+    pub fn with_max_error_rate(mut self, rate: f64) -> IngestOptions {
+        self.max_error_rate = rate;
+        self
+    }
+}
+
+/// Maps a shard reader's line-level decode failure to its quarantine
+/// reason: too few fields means the record was cut short; everything else
+/// is content damage within the line.
+pub(crate) fn reason_for_codec(error: &CodecError) -> QuarantineReason {
+    match error {
+        CodecError::MissingField { .. } => QuarantineReason::Truncated,
+        CodecError::BadField { .. } | CodecError::TrailingFields { .. } | CodecError::BadEscape => {
+            QuarantineReason::BadField
+        }
+    }
+}
+
+/// Where in its log a quarantined record sat: a physical line (parse
+/// faults) or a record index in file order (content faults).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Position {
+    /// 1-based global line number.
+    Line(u64),
+    /// 0-based record index among successfully parsed records.
+    Record(u64),
+}
+
+impl core::fmt::Display for Position {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Position::Line(n) => write!(f, "line:{n}"),
+            Position::Record(n) => write!(f, "record:{n}"),
+        }
+    }
+}
+
+/// One `quarantine.log` entry.
+#[derive(Clone, Debug)]
+pub(crate) struct QuarantineEntry {
+    pub source: ShardSource,
+    pub position: Position,
+    pub reason: QuarantineReason,
+    pub detail: String,
+}
+
+// One record per line: `source \t position \t reason \t detail` —
+// grep-friendly and stable across worker counts.
+impl core::fmt::Display for QuarantineEntry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}\t{}\t{}\t{}",
+            self.source.name(),
+            self.position,
+            self.reason,
+            self.detail
+        )
+    }
+}
+
+/// A record the content checks know how to judge.
+pub(crate) trait ValidatedRecord: std::hash::Hash + Eq {
+    fn ts(&self) -> SimTime;
+    fn imei(&self) -> u64;
+}
+
+impl ValidatedRecord for ProxyRecord {
+    fn ts(&self) -> SimTime {
+        self.timestamp
+    }
+    fn imei(&self) -> u64 {
+        self.imei
+    }
+}
+
+impl ValidatedRecord for MmeRecord {
+    fn ts(&self) -> SimTime {
+        self.timestamp
+    }
+    fn imei(&self) -> u64 {
+        self.imei
+    }
+}
+
+/// Outcome of the content checks over one log's records.
+pub(crate) struct Validated<R> {
+    /// Surviving records, file order preserved.
+    pub kept: Vec<R>,
+    /// Indices (into the input, file order) of quarantined records.
+    pub quarantined_indices: Vec<u64>,
+}
+
+/// Runs the content checks over `records` in file order, appending
+/// quarantine entries/counts and returning the survivors.
+///
+/// Check precedence per record — content identity first, then sequence:
+/// `UnknownImei` → `Skewed` → `OutOfOrder` → `Duplicate`. Quarantined
+/// records contribute nothing to sequence state (the high-water mark and
+/// duplicate set advance on kept records only), so one skewed timestamp
+/// cannot cascade into quarantining the rest of the log.
+pub(crate) fn validate_source<R: ValidatedRecord>(
+    records: Vec<R>,
+    source: ShardSource,
+    opts: &IngestOptions,
+    counts: &mut QuarantineCounts,
+    entries: &mut Vec<QuarantineEntry>,
+) -> Validated<R> {
+    let mut keep = vec![true; records.len()];
+    let mut quarantined_indices = Vec::new();
+    {
+        let mut seen: HashSet<&R> = HashSet::with_capacity(records.len());
+        let mut watermark = SimTime::EPOCH;
+        for (i, r) in records.iter().enumerate() {
+            let verdict = if Imei::from_u64(r.imei()).is_err() {
+                Some((
+                    QuarantineReason::UnknownImei,
+                    format!("imei {} is not a valid device identity", r.imei()),
+                ))
+            } else if opts.max_timestamp.is_some_and(|horizon| r.ts() > horizon) {
+                Some((
+                    QuarantineReason::Skewed,
+                    format!(
+                        "timestamp {}s is past the observation horizon",
+                        r.ts().as_secs()
+                    ),
+                ))
+            } else if r.ts() < watermark {
+                Some((
+                    QuarantineReason::OutOfOrder,
+                    format!(
+                        "timestamp {}s regresses behind {}s",
+                        r.ts().as_secs(),
+                        watermark.as_secs()
+                    ),
+                ))
+            } else if !seen.insert(r) {
+                Some((
+                    QuarantineReason::Duplicate,
+                    "exact copy of an earlier record".into(),
+                ))
+            } else {
+                watermark = watermark.max(r.ts());
+                None
+            };
+            if let Some((reason, detail)) = verdict {
+                keep[i] = false;
+                quarantined_indices.push(i as u64);
+                counts.note(reason);
+                entries.push(QuarantineEntry {
+                    source,
+                    position: Position::Record(i as u64),
+                    reason,
+                    detail,
+                });
+            }
+        }
+    }
+    let kept = records
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(r, k)| k.then_some(r))
+        .collect();
+    Validated {
+        kept,
+        quarantined_indices,
+    }
+}
+
+/// Writes `quarantine.log`: one [`QuarantineEntry`] per line, proxy
+/// entries before MME, parse faults before content faults within a source
+/// — a deterministic artifact for any worker count.
+pub(crate) fn write_quarantine_log(path: &Path, entries: &[QuarantineEntry]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for e in entries {
+        writeln!(w, "{e}")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wearscope_devicedb::DeviceDb;
+    use wearscope_trace::{Scheme, UserId};
+
+    fn rec(db: &DeviceDb, t: u64, user: u64) -> ProxyRecord {
+        ProxyRecord {
+            timestamp: SimTime::from_secs(t),
+            user: UserId(user),
+            imei: db.example_imei(db.wearable_tacs()[0], user as u32).as_u64(),
+            host: "api.weather.com".into(),
+            scheme: Scheme::Https,
+            bytes_down: 100,
+            bytes_up: 10,
+        }
+    }
+
+    fn run(
+        records: Vec<ProxyRecord>,
+        opts: &IngestOptions,
+    ) -> (Vec<ProxyRecord>, QuarantineCounts) {
+        let mut counts = QuarantineCounts::default();
+        let mut entries = Vec::new();
+        let v = validate_source(records, ShardSource::Proxy, opts, &mut counts, &mut entries);
+        assert_eq!(entries.len() as u64, counts.total());
+        (v.kept, counts)
+    }
+
+    #[test]
+    fn clean_records_all_kept() {
+        let db = DeviceDb::standard();
+        let records: Vec<ProxyRecord> = (0..20).map(|i| rec(&db, i * 10, i)).collect();
+        let (kept, counts) = run(records.clone(), &IngestOptions::default());
+        assert_eq!(kept, records);
+        assert!(counts.is_empty());
+    }
+
+    #[test]
+    fn duplicates_quarantine_second_occurrence_only() {
+        let db = DeviceDb::standard();
+        let a = rec(&db, 10, 1);
+        let records = vec![a.clone(), a.clone(), rec(&db, 20, 2)];
+        let (kept, counts) = run(records, &IngestOptions::default());
+        assert_eq!(kept.len(), 2);
+        assert_eq!(counts.get(QuarantineReason::Duplicate), 1);
+    }
+
+    #[test]
+    fn regression_quarantined_equal_timestamps_kept() {
+        let db = DeviceDb::standard();
+        let records = vec![rec(&db, 100, 1), rec(&db, 100, 2), rec(&db, 50, 3)];
+        let (kept, counts) = run(records, &IngestOptions::default());
+        assert_eq!(kept.len(), 2);
+        assert_eq!(counts.get(QuarantineReason::OutOfOrder), 1);
+        assert_eq!(kept[1].user, UserId(2));
+    }
+
+    #[test]
+    fn skew_does_not_cascade_into_out_of_order() {
+        // One record stamped far past the horizon must not drag the
+        // high-water mark forward and quarantine everything after it.
+        let db = DeviceDb::standard();
+        let opts = IngestOptions {
+            max_timestamp: Some(SimTime::from_days(100)),
+            ..IngestOptions::default()
+        };
+        let mut records = vec![rec(&db, 10, 1)];
+        records.push(rec(&db, SimTime::from_days(4000).as_secs(), 2));
+        records.extend((2..10).map(|i| rec(&db, 20 + i, i)));
+        let (kept, counts) = run(records, &opts);
+        assert_eq!(counts.get(QuarantineReason::Skewed), 1);
+        assert_eq!(counts.get(QuarantineReason::OutOfOrder), 0);
+        assert_eq!(kept.len(), 9);
+    }
+
+    #[test]
+    fn invalid_imei_quarantined() {
+        let db = DeviceDb::standard();
+        let mut bad = rec(&db, 10, 1);
+        bad.imei += 1; // breaks the Luhn check digit
+        let records = vec![rec(&db, 5, 0), bad, rec(&db, 20, 2)];
+        let (kept, counts) = run(records, &IngestOptions::default());
+        assert_eq!(kept.len(), 2);
+        assert_eq!(counts.get(QuarantineReason::UnknownImei), 1);
+    }
+
+    #[test]
+    fn codec_errors_map_to_reasons() {
+        assert_eq!(
+            reason_for_codec(&CodecError::MissingField { index: 3 }),
+            QuarantineReason::Truncated
+        );
+        assert_eq!(
+            reason_for_codec(&CodecError::BadField {
+                index: 0,
+                expected: "u64"
+            }),
+            QuarantineReason::BadField
+        );
+        assert_eq!(
+            reason_for_codec(&CodecError::BadEscape),
+            QuarantineReason::BadField
+        );
+    }
+
+    #[test]
+    fn options_for_world_reads_manifest_horizon() {
+        let dir = std::env::temp_dir().join(format!("wearscope-opts-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("manifest.tsv"),
+            "seed\t7\nsummary_days\t42\ndetailed_days\t42\n",
+        )
+        .unwrap();
+        let opts = IngestOptions::for_world(&dir);
+        assert_eq!(opts.max_timestamp, Some(SimTime::from_days(44)));
+        assert_eq!(opts.quarantine_log, Some(dir.join("quarantine.log")));
+        assert!(opts.content_checks);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

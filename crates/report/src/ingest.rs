@@ -7,6 +7,7 @@
 
 use std::time::Duration;
 
+use crate::quality::DataQuality;
 use crate::table::Table;
 
 /// Which log a shard came from.
@@ -48,13 +49,16 @@ pub struct ShardProgress {
     pub wall: Duration,
 }
 
-/// The full ingest run: worker count, per-shard progress, and wall time.
+/// The full ingest run: worker count, per-shard progress, data quality,
+/// and wall time.
 #[derive(Clone, Debug, Default)]
 pub struct IngestReport {
     /// Workers the engine ran with.
     pub workers: usize,
     /// One entry per shard, in merge (shard-index) order per source.
     pub shards: Vec<ShardProgress>,
+    /// Records seen/kept/quarantined and shard failures.
+    pub quality: DataQuality,
     /// End-to-end wall time of the parallel section.
     pub wall: Duration,
 }
@@ -104,6 +108,7 @@ impl IngestReport {
     pub fn merge(&mut self, other: IngestReport) {
         self.workers = self.workers.max(other.workers);
         self.shards.extend(other.shards);
+        self.quality.merge(&other.quality);
         self.wall += other.wall;
     }
 
@@ -145,6 +150,7 @@ mod tests {
             workers: 4,
             shards: vec![shard(0, 100, 0), shard(1, 50, 2)],
             wall: Duration::from_millis(30),
+            ..IngestReport::default()
         };
         assert_eq!(report.records(), 150);
         assert_eq!(report.bytes(), 7500);

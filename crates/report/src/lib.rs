@@ -9,6 +9,7 @@ pub mod experiments;
 pub mod figures;
 pub mod ingest;
 pub mod plot;
+pub mod quality;
 pub mod summary;
 pub mod table;
 
@@ -17,5 +18,6 @@ pub use experiments::{Band, ExperimentReport, ExperimentRow};
 pub use figures::FigureCsvExporter;
 pub use ingest::{IngestReport, ShardProgress, ShardSource};
 pub use plot::{bar_chart_log, ecdf_plot, sparkline};
+pub use quality::{DataQuality, QuarantineCounts, QuarantineReason, ShardFailure};
 pub use summary::render_full_report;
 pub use table::Table;

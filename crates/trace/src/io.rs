@@ -162,6 +162,12 @@ impl<S: BufRead, R: TsvRecord> LogReader<S, R> {
             _marker: PhantomData,
         }
     }
+
+    /// Lines consumed so far, blank lines included — the 1-based line
+    /// number of the last yielded item, or the total once exhausted.
+    pub fn lines_read(&self) -> u64 {
+        self.line_no
+    }
 }
 
 impl<S: BufRead, R: TsvRecord> Iterator for LogReader<S, R> {

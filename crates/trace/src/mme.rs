@@ -54,7 +54,7 @@ impl fmt::Display for MmeEvent {
 /// Fig. 2(a)'s daily registered-user counts and all of Sec. 4.4's mobility
 /// metrics (max displacement, location entropy, single-location users) fold
 /// over these records.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct MmeRecord {
     /// Event time.
     pub timestamp: SimTime,

@@ -47,7 +47,7 @@ impl fmt::Display for Scheme {
 /// This is the unit of every traffic analysis in the paper: Fig. 3(c)'s
 /// transaction sizes, Fig. 5's app usage, Fig. 7's sessions, and Fig. 8's
 /// domain classes are all folds over these records.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ProxyRecord {
     /// Transaction start time.
     pub timestamp: SimTime,

@@ -149,6 +149,10 @@ pub struct TsvShard<R> {
     pub records: Vec<R>,
     /// Bytes covered by the shard.
     pub bytes: u64,
+    /// Total lines in the shard, blank lines included. Since shard ranges
+    /// are newline-aligned and partition the file, summing `lines` over the
+    /// preceding shards turns a shard-local line number into a global one.
+    pub lines: u64,
     /// Malformed lines, as `(1-based line within the shard, error)`. The
     /// caller decides whether any error is fatal; the legacy loader treats
     /// the first one as such.
@@ -171,15 +175,18 @@ pub fn read_tsv_shard<R: TsvRecord>(path: &Path, range: ByteRange) -> io::Result
     let mut shard = TsvShard {
         records: Vec::new(),
         bytes: range.len(),
+        lines: 0,
         errors: Vec::new(),
     };
-    for item in LogReader::<_, R>::new(source) {
+    let mut reader = LogReader::<_, R>::new(source);
+    for item in reader.by_ref() {
         match item {
             Ok(record) => shard.records.push(record),
             Err(ReadError::Codec { line, error }) => shard.errors.push((line, error)),
             Err(ReadError::Io(e)) => return Err(e),
         }
     }
+    shard.lines = reader.lines_read();
     Ok(shard)
 }
 
@@ -339,6 +346,112 @@ mod tests {
         let path = temp_path("bin-empty");
         std::fs::write(&path, b"").unwrap();
         assert!(plan_binary_shards(&path, 3).unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_ending_mid_record_counts_one_truncated_line() {
+        // A tail cut mid-record must surface as exactly one malformed line
+        // in the final shard, never as a planner failure.
+        let records: Vec<MmeRecord> = (0..50).map(mme).collect();
+        let mut text = String::new();
+        for r in &records {
+            text.push_str(&r.to_line());
+            text.push('\n');
+        }
+        let cut = text.len() - 7; // strictly inside the last record
+        let path = temp_path("tsv-midrec");
+        std::fs::write(&path, &text[..cut]).unwrap();
+        for shards in [1, 4, 16] {
+            let ranges = plan_tsv_shards(&path, shards).unwrap();
+            assert_partition(&ranges, cut as u64);
+            let mut ok = 0usize;
+            let mut bad = 0usize;
+            for r in &ranges {
+                let shard: TsvShard<MmeRecord> = read_tsv_shard(&path, *r).unwrap();
+                ok += shard.records.len();
+                bad += shard.errors.len();
+            }
+            assert_eq!(ok, 49, "{shards} shards");
+            assert_eq!(bad, 1, "{shards} shards");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn record_straddling_planned_boundary_stays_whole() {
+        // Force a tentative cut to land inside a record: many single-byte
+        // shards over few records means every tentative offset is mid-line.
+        let records: Vec<MmeRecord> = (0..10).map(mme).collect();
+        let path = temp_path("tsv-straddle");
+        let mut w = LogWriter::new(std::fs::File::create(&path).unwrap());
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        w.flush().unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        let ranges = plan_tsv_shards(&path, len as usize).unwrap();
+        assert_partition(&ranges, len);
+        // Every shard holds a whole number of records and nothing is lost.
+        let mut all = Vec::new();
+        for r in &ranges {
+            let shard: TsvShard<MmeRecord> = read_tsv_shard(&path, *r).unwrap();
+            assert!(shard.errors.is_empty());
+            all.extend(shard.records);
+        }
+        assert_eq!(all, records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_and_count_lines() {
+        let records: Vec<MmeRecord> = (0..40).map(mme).collect();
+        let mut text = String::new();
+        for (i, r) in records.iter().enumerate() {
+            text.push_str(&r.to_line());
+            // Mixed endings: every third line CRLF, the rest LF.
+            text.push_str(if i % 3 == 0 { "\r\n" } else { "\n" });
+        }
+        let path = temp_path("tsv-crlf");
+        std::fs::write(&path, &text).unwrap();
+        for shards in [1, 3, 8] {
+            let ranges = plan_tsv_shards(&path, shards).unwrap();
+            assert_partition(&ranges, text.len() as u64);
+            let mut all = Vec::new();
+            let mut lines = 0;
+            for r in &ranges {
+                let shard: TsvShard<MmeRecord> = read_tsv_shard(&path, *r).unwrap();
+                assert!(shard.errors.is_empty());
+                lines += shard.lines;
+                all.extend(shard.records);
+            }
+            assert_eq!(all, records, "{shards} shards");
+            assert_eq!(lines, 40);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shard_line_counts_sum_to_file_lines() {
+        // Blank lines are skipped as records but still counted, so global
+        // line numbers reconstructed from shard bases stay exact.
+        let good = mme(1).to_line();
+        let path = temp_path("tsv-lines");
+        std::fs::write(&path, format!("{good}\n\n{good}\nbad line\n{good}\n")).unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        let ranges = plan_tsv_shards(&path, 3).unwrap();
+        assert_partition(&ranges, len);
+        let mut lines = 0;
+        let mut global_error_lines = Vec::new();
+        for r in &ranges {
+            let shard: TsvShard<MmeRecord> = read_tsv_shard(&path, *r).unwrap();
+            for (local, _) in &shard.errors {
+                global_error_lines.push(lines + local);
+            }
+            lines += shard.lines;
+        }
+        assert_eq!(lines, 5);
+        assert_eq!(global_error_lines, vec![4]);
         std::fs::remove_file(&path).unwrap();
     }
 

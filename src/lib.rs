@@ -47,6 +47,7 @@
 pub use wearscope_appdb as appdb;
 pub use wearscope_core as core;
 pub use wearscope_devicedb as devicedb;
+pub use wearscope_faults as faults;
 pub use wearscope_geo as geo;
 pub use wearscope_ingest as ingest;
 pub use wearscope_mobilenet as mobilenet;

@@ -3,28 +3,31 @@
 //! ```text
 //! wearscope generate  --seed 7 --scale paper --out ./world   # simulate + persist logs
 //! wearscope analyze   --world ./world [--csv ./figures]      # run the pipeline on saved logs
+//! wearscope corrupt   --world ./world --faults all --seed 3  # inject log faults in place
 //! wearscope experiments --seed 7 --scale quick               # generate + analyze in memory
 //! ```
 //!
 //! `generate` and `analyze` are deliberately separate: the analysis side
 //! only ever touches what an ISP analyst would have (logs, cell plan,
 //! vantage summaries), so you can regenerate, ship, or tamper with the log
-//! directory and re-analyze independently.
+//! directory and re-analyze independently — `corrupt` exists precisely to
+//! tamper with it deterministically.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use wearscope::core::takeaways::Takeaways;
-use wearscope::ingest::IngestEngine;
+use wearscope::faults::{corrupt_world, FaultSpec};
+use wearscope::ingest::{load_store_resilient, IngestEngine, IngestOptions};
 use wearscope::prelude::*;
 use wearscope::report::{figures::FigureCsvExporter, render_full_report, ExperimentReport};
-use wearscope::synthpop::SavedWorld;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("corrupt") => cmd_corrupt(&args[1..]),
         Some("experiments") => cmd_experiments(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -46,16 +49,19 @@ wearscope — reproduction of 'A First Look at SIM-Enabled Wearables in the Wild
 
 USAGE:
     wearscope generate   --out DIR [--seed N] [--scale quick|compact|paper]
-    wearscope analyze    --world DIR [--full] [--csv DIR] [--workers N]
+    wearscope analyze    --world DIR [--full] [--csv DIR] [--workers N] [--max-error-rate R]
+    wearscope corrupt    --world DIR --faults SPEC [--seed N]
     wearscope experiments [--seed N] [--scale quick|compact|paper]
 
 COMMANDS:
     generate     simulate a world and persist logs + cell plan + summaries
     analyze      run the full analysis pipeline over a saved world
+    corrupt      deterministically inject log faults into a saved world
     experiments  generate in memory and print the paper-vs-measured table
 
 OPTIONS:
-    --seed N     master seed (default 7); the world is a pure function of it
+    --seed N     master seed (default 7); the world (or the corruption) is a
+                 pure function of it
     --scale S    quick (6wk/~400 users), compact (6wk/~900), paper (151d/~5100)
     --out DIR    output directory for generate
     --world DIR  directory written by generate
@@ -63,6 +69,15 @@ OPTIONS:
     --csv DIR    also export every figure's data series as CSV files
     --workers N  parallel ingest workers (default: all CPUs; 1 = sequential).
                  Results are bit-identical for every N
+    --max-error-rate R
+                 abort analyze when a log's quarantined fraction exceeds R
+                 (default 0.01); quarantined records are listed with typed
+                 reasons in WORLD/quarantine.log
+    --faults SPEC
+                 comma-separated fault classes for corrupt: `all` or any of
+                 truncate/bitflip/garbage/dup/reorder/crlf/badimei/skew,
+                 each with an optional per-line `=rate` (default 0.001),
+                 e.g. `--faults bitflip=0.01,dup,skew=0.005`
 ";
 
 /// Parses `--flag value` pairs.
@@ -127,29 +142,40 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         Some(s) => s.parse().map_err(|_| format!("bad worker count `{s}`"))?,
         None => wearscope::ingest::default_workers(),
     };
+    let mut opts = IngestOptions::for_world(&dir);
+    if let Some(s) = flag(args, "--max-error-rate")? {
+        let rate: f64 = s.parse().map_err(|_| format!("bad error rate `{s}`"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("--max-error-rate must be in [0, 1], got {rate}"));
+        }
+        opts = opts.with_max_error_rate(rate);
+    }
     let loading = |e: std::io::Error| format!("loading {}: {e}", dir.display());
 
-    // --workers 1 takes the sequential path; N > 1 loads the logs by
-    // byte-range shards and folds the aggregates on a worker pool. Both
-    // produce bit-identical reports and figure CSVs.
-    let mut load_report = None;
-    let saved = if workers > 1 {
-        let (store, report) =
-            wearscope::ingest::load_store_parallel(&dir, workers).map_err(loading)?;
-        load_report = Some(report);
-        GeneratedWorld::load_with_store(&dir, store).map_err(loading)?
-    } else {
-        SavedWorld::load_dir(&dir)?
-    };
+    // Every worker count goes through the resilient loader — quarantine
+    // decisions depend only on file content and order, so the surviving
+    // store (and everything downstream) is bit-identical for every N.
+    let (store, load_report) = load_store_resilient(&dir, workers, &opts)
+        .map_err(|e| format!("loading {}: {e}", dir.display()))?;
+    let saved = GeneratedWorld::load_with_store(&dir, store).map_err(loading)?;
     let db = DeviceDb::standard();
     let catalog = AppCatalog::standard();
     let ctx = StudyContext::new(&saved.store, &db, &saved.sectors, &catalog, saved.window);
 
-    let aggs = if workers > 1 {
-        let (aggs, compute_report) = IngestEngine::new(workers).compute(&ctx);
-        if let Some(r) = &load_report {
-            eprintln!("load:    {}", r.summary_line());
+    eprintln!("load:    {}", load_report.summary_line());
+    eprintln!("quality: {}", load_report.quality.summary_line());
+    if !load_report.quality.quarantined.is_empty() {
+        if let Some(log) = &opts.quarantine_log {
+            eprintln!("quality: quarantined records listed in {}", log.display());
         }
+    }
+
+    // --workers 1 folds the aggregates sequentially; N > 1 uses the
+    // worker-pool engine. Both produce bit-identical reports and CSVs.
+    let aggs = if workers > 1 {
+        let (aggs, compute_report) = IngestEngine::new(workers)
+            .compute(&ctx)
+            .map_err(|e| format!("analyzing {}: {e}", dir.display()))?;
         eprintln!("analyze: {}", compute_report.summary_line());
         Some(aggs)
     } else {
@@ -159,6 +185,11 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--full") {
         print!("{}", render_full_report(&ctx, &saved.summaries));
         println!();
+        if !load_report.quality.quarantined.is_empty() {
+            println!("## Data quality\n");
+            print!("{}", load_report.quality.render_table());
+            println!();
+        }
     }
     let takeaways = match &aggs {
         Some(a) => Takeaways::compute_with(&ctx, &saved.summaries, a),
@@ -180,6 +211,22 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             csv_dir.display()
         );
     }
+    Ok(())
+}
+
+fn cmd_corrupt(args: &[String]) -> Result<(), String> {
+    let dir = PathBuf::from(flag(args, "--world")?.ok_or("corrupt requires --world DIR")?);
+    let seed: u64 = flag(args, "--seed")?
+        .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+        .transpose()?
+        .unwrap_or(7);
+    let spec: FaultSpec = flag(args, "--faults")?
+        .ok_or("corrupt requires --faults SPEC (e.g. `all` or `bitflip=0.01,dup`)")?
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let report = corrupt_world(&dir, seed, &spec)
+        .map_err(|e| format!("corrupting {}: {e}", dir.display()))?;
+    print!("{}", report.render());
     Ok(())
 }
 
@@ -206,17 +253,6 @@ fn cmd_experiments(args: &[String]) -> Result<(), String> {
     );
     print!("{}", report.render());
     Ok(())
-}
-
-/// Thin trait-like shim so `analyze` reads like the library API.
-trait LoadDir: Sized {
-    fn load_dir(dir: &std::path::Path) -> Result<Self, String>;
-}
-
-impl LoadDir for SavedWorld {
-    fn load_dir(dir: &std::path::Path) -> Result<Self, String> {
-        GeneratedWorld::load(dir).map_err(|e| format!("loading {}: {e}", dir.display()))
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration_tracking-a25c39a2569b4c7b.d: tests/calibration_tracking.rs
+
+/root/repo/target/debug/deps/calibration_tracking-a25c39a2569b4c7b: tests/calibration_tracking.rs
+
+tests/calibration_tracking.rs:

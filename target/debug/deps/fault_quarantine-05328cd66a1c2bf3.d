@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_quarantine-05328cd66a1c2bf3.d: tests/fault_quarantine.rs
+
+/root/repo/target/debug/deps/fault_quarantine-05328cd66a1c2bf3: tests/fault_quarantine.rs
+
+tests/fault_quarantine.rs:

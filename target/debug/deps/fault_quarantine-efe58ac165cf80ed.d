@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_quarantine-efe58ac165cf80ed.d: tests/fault_quarantine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_quarantine-efe58ac165cf80ed.rmeta: tests/fault_quarantine.rs Cargo.toml
+
+tests/fault_quarantine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

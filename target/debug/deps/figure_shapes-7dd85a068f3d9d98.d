@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_shapes-7dd85a068f3d9d98.d: tests/figure_shapes.rs
+
+/root/repo/target/debug/deps/figure_shapes-7dd85a068f3d9d98: tests/figure_shapes.rs
+
+tests/figure_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ingest_determinism-68844e2f82273927.d: tests/ingest_determinism.rs
+
+/root/repo/target/debug/deps/ingest_determinism-68844e2f82273927: tests/ingest_determinism.rs
+
+tests/ingest_determinism.rs:

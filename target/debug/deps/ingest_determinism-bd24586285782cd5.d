@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ingest_determinism-bd24586285782cd5.d: tests/ingest_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libingest_determinism-bd24586285782cd5.rmeta: tests/ingest_determinism.rs Cargo.toml
+
+tests/ingest_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_roundtrip-a049ab60b862c4fc.d: tests/pipeline_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_roundtrip-a049ab60b862c4fc.rmeta: tests/pipeline_roundtrip.rs Cargo.toml
+
+tests/pipeline_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_roundtrip-d7ddd754bd2d91bd.d: tests/pipeline_roundtrip.rs
+
+/root/repo/target/debug/deps/pipeline_roundtrip-d7ddd754bd2d91bd: tests/pipeline_roundtrip.rs
+
+tests/pipeline_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction-5d5a70da41ad9558.d: tests/reproduction.rs
+
+/root/repo/target/debug/deps/reproduction-5d5a70da41ad9558: tests/reproduction.rs
+
+tests/reproduction.rs:

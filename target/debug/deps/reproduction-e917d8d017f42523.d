@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduction-e917d8d017f42523.d: tests/reproduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduction-e917d8d017f42523.rmeta: tests/reproduction.rs Cargo.toml
+
+tests/reproduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wearscope-406833f03a50a5fb.d: src/lib.rs
+
+/root/repo/target/debug/deps/wearscope-406833f03a50a5fb: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wearscope-40a7717590d320c4.d: src/main.rs
+
+/root/repo/target/debug/deps/wearscope-40a7717590d320c4: src/main.rs
+
+src/main.rs:

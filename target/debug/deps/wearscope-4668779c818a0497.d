@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wearscope-4668779c818a0497.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwearscope-4668779c818a0497.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

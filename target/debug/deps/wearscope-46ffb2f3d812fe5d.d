@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wearscope-46ffb2f3d812fe5d.d: src/main.rs
+
+/root/repo/target/debug/deps/wearscope-46ffb2f3d812fe5d: src/main.rs
+
+src/main.rs:

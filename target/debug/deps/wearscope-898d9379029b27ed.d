@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wearscope-898d9379029b27ed.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwearscope-898d9379029b27ed.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

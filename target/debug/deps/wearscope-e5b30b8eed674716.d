@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wearscope-e5b30b8eed674716.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwearscope-e5b30b8eed674716.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwearscope-e5b30b8eed674716.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wearscope_bench-940ca5c3d4e4e75c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwearscope_bench-940ca5c3d4e4e75c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwearscope_bench-940ca5c3d4e4e75c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

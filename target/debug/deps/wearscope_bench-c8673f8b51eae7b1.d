@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wearscope_bench-c8673f8b51eae7b1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/wearscope_bench-c8673f8b51eae7b1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wearscope_bench-fc76077d078dcb8c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwearscope_bench-fc76077d078dcb8c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wearscope_faults-017fdc0f2cf50867.d: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwearscope_faults-017fdc0f2cf50867.rmeta: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/spec.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wearscope_faults-53a9a025780d43c5.d: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/spec.rs
+
+/root/repo/target/debug/deps/libwearscope_faults-53a9a025780d43c5.rlib: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/spec.rs
+
+/root/repo/target/debug/deps/libwearscope_faults-53a9a025780d43c5.rmeta: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/spec.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/spec.rs:

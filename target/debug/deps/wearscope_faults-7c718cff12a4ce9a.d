@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wearscope_faults-7c718cff12a4ce9a.d: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/spec.rs
+
+/root/repo/target/debug/deps/wearscope_faults-7c718cff12a4ce9a: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/spec.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/spec.rs:

@@ -1,10 +1,12 @@
-/root/repo/target/debug/deps/wearscope_ingest-116baf03e3912e59.d: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/load.rs crates/ingest/src/sharder.rs Cargo.toml
+/root/repo/target/debug/deps/wearscope_ingest-116baf03e3912e59.d: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/error.rs crates/ingest/src/load.rs crates/ingest/src/quarantine.rs crates/ingest/src/sharder.rs Cargo.toml
 
-/root/repo/target/debug/deps/libwearscope_ingest-116baf03e3912e59.rmeta: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/load.rs crates/ingest/src/sharder.rs Cargo.toml
+/root/repo/target/debug/deps/libwearscope_ingest-116baf03e3912e59.rmeta: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/error.rs crates/ingest/src/load.rs crates/ingest/src/quarantine.rs crates/ingest/src/sharder.rs Cargo.toml
 
 crates/ingest/src/lib.rs:
 crates/ingest/src/engine.rs:
+crates/ingest/src/error.rs:
 crates/ingest/src/load.rs:
+crates/ingest/src/quarantine.rs:
 crates/ingest/src/sharder.rs:
 Cargo.toml:
 

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/wearscope_ingest-2e0806b5b79290a5.d: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/error.rs crates/ingest/src/load.rs crates/ingest/src/quarantine.rs crates/ingest/src/sharder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwearscope_ingest-2e0806b5b79290a5.rmeta: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/error.rs crates/ingest/src/load.rs crates/ingest/src/quarantine.rs crates/ingest/src/sharder.rs Cargo.toml
+
+crates/ingest/src/lib.rs:
+crates/ingest/src/engine.rs:
+crates/ingest/src/error.rs:
+crates/ingest/src/load.rs:
+crates/ingest/src/quarantine.rs:
+crates/ingest/src/sharder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

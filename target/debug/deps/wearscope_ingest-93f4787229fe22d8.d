@@ -1,8 +1,10 @@
-/root/repo/target/debug/deps/wearscope_ingest-93f4787229fe22d8.d: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/load.rs crates/ingest/src/sharder.rs
+/root/repo/target/debug/deps/wearscope_ingest-93f4787229fe22d8.d: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/error.rs crates/ingest/src/load.rs crates/ingest/src/quarantine.rs crates/ingest/src/sharder.rs
 
-/root/repo/target/debug/deps/wearscope_ingest-93f4787229fe22d8: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/load.rs crates/ingest/src/sharder.rs
+/root/repo/target/debug/deps/wearscope_ingest-93f4787229fe22d8: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/error.rs crates/ingest/src/load.rs crates/ingest/src/quarantine.rs crates/ingest/src/sharder.rs
 
 crates/ingest/src/lib.rs:
 crates/ingest/src/engine.rs:
+crates/ingest/src/error.rs:
 crates/ingest/src/load.rs:
+crates/ingest/src/quarantine.rs:
 crates/ingest/src/sharder.rs:

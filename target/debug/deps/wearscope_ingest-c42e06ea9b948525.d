@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/wearscope_ingest-c42e06ea9b948525.d: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/error.rs crates/ingest/src/load.rs crates/ingest/src/quarantine.rs crates/ingest/src/sharder.rs
+
+/root/repo/target/debug/deps/libwearscope_ingest-c42e06ea9b948525.rlib: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/error.rs crates/ingest/src/load.rs crates/ingest/src/quarantine.rs crates/ingest/src/sharder.rs
+
+/root/repo/target/debug/deps/libwearscope_ingest-c42e06ea9b948525.rmeta: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/error.rs crates/ingest/src/load.rs crates/ingest/src/quarantine.rs crates/ingest/src/sharder.rs
+
+crates/ingest/src/lib.rs:
+crates/ingest/src/engine.rs:
+crates/ingest/src/error.rs:
+crates/ingest/src/load.rs:
+crates/ingest/src/quarantine.rs:
+crates/ingest/src/sharder.rs:

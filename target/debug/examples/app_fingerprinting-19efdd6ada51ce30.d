@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/app_fingerprinting-19efdd6ada51ce30.d: examples/app_fingerprinting.rs Cargo.toml
+
+/root/repo/target/debug/examples/libapp_fingerprinting-19efdd6ada51ce30.rmeta: examples/app_fingerprinting.rs Cargo.toml
+
+examples/app_fingerprinting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

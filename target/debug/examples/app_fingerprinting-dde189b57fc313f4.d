@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/app_fingerprinting-dde189b57fc313f4.d: examples/app_fingerprinting.rs
+
+/root/repo/target/debug/examples/app_fingerprinting-dde189b57fc313f4: examples/app_fingerprinting.rs
+
+examples/app_fingerprinting.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibration_sweep-25101a2f29d67803.d: examples/calibration_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibration_sweep-25101a2f29d67803.rmeta: examples/calibration_sweep.rs Cargo.toml
+
+examples/calibration_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

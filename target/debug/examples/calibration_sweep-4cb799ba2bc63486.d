@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibration_sweep-4cb799ba2bc63486.d: examples/calibration_sweep.rs
+
+/root/repo/target/debug/examples/calibration_sweep-4cb799ba2bc63486: examples/calibration_sweep.rs
+
+examples/calibration_sweep.rs:

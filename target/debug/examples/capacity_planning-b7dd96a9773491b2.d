@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-b7dd96a9773491b2.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-b7dd96a9773491b2: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

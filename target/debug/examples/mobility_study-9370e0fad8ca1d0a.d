@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mobility_study-9370e0fad8ca1d0a.d: examples/mobility_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmobility_study-9370e0fad8ca1d0a.rmeta: examples/mobility_study.rs Cargo.toml
+
+examples/mobility_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mobility_study-c6b4784d1aa80874.d: examples/mobility_study.rs
+
+/root/repo/target/debug/examples/mobility_study-c6b4784d1aa80874: examples/mobility_study.rs
+
+examples/mobility_study.rs:

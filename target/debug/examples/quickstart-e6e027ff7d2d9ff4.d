@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e6e027ff7d2d9ff4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e6e027ff7d2d9ff4: examples/quickstart.rs
+
+examples/quickstart.rs:

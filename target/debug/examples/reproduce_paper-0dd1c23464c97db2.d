@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reproduce_paper-0dd1c23464c97db2.d: examples/reproduce_paper.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreproduce_paper-0dd1c23464c97db2.rmeta: examples/reproduce_paper.rs Cargo.toml
+
+examples/reproduce_paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reproduce_paper-371b65475a0de754.d: examples/reproduce_paper.rs
+
+/root/repo/target/debug/examples/reproduce_paper-371b65475a0de754: examples/reproduce_paper.rs
+
+examples/reproduce_paper.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/through_device-0415c1c5c135a00a.d: examples/through_device.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthrough_device-0415c1c5c135a00a.rmeta: examples/through_device.rs Cargo.toml
+
+examples/through_device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/through_device-4156cda2812cf079.d: examples/through_device.rs
+
+/root/repo/target/debug/examples/through_device-4156cda2812cf079: examples/through_device.rs
+
+examples/through_device.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_quarantine-3b404ac07348ebeb.d: tests/fault_quarantine.rs
+
+/root/repo/target/release/deps/fault_quarantine-3b404ac07348ebeb: tests/fault_quarantine.rs
+
+tests/fault_quarantine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ingest-a1e4e61d2ef15148.d: crates/bench/benches/ingest.rs
+
+/root/repo/target/release/deps/ingest-a1e4e61d2ef15148: crates/bench/benches/ingest.rs
+
+crates/bench/benches/ingest.rs:

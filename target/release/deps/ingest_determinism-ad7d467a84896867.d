@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ingest_determinism-ad7d467a84896867.d: tests/ingest_determinism.rs
+
+/root/repo/target/release/deps/ingest_determinism-ad7d467a84896867: tests/ingest_determinism.rs
+
+tests/ingest_determinism.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-e1ed1e444282b4eb.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e1ed1e444282b4eb.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e1ed1e444282b4eb.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

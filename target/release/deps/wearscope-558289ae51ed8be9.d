@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wearscope-558289ae51ed8be9.d: src/lib.rs
+
+/root/repo/target/release/deps/libwearscope-558289ae51ed8be9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libwearscope-558289ae51ed8be9.rmeta: src/lib.rs
+
+src/lib.rs:

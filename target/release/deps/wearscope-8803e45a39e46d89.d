@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wearscope-8803e45a39e46d89.d: src/main.rs
+
+/root/repo/target/release/deps/wearscope-8803e45a39e46d89: src/main.rs
+
+src/main.rs:

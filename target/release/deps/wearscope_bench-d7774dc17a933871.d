@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wearscope_bench-d7774dc17a933871.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libwearscope_bench-d7774dc17a933871.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libwearscope_bench-d7774dc17a933871.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wearscope_faults-7f66ef842e966267.d: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/spec.rs
+
+/root/repo/target/release/deps/libwearscope_faults-7f66ef842e966267.rlib: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/spec.rs
+
+/root/repo/target/release/deps/libwearscope_faults-7f66ef842e966267.rmeta: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/spec.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/spec.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/wearscope_ingest-b1a6df7fe71c097b.d: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/error.rs crates/ingest/src/load.rs crates/ingest/src/quarantine.rs crates/ingest/src/sharder.rs
+
+/root/repo/target/release/deps/libwearscope_ingest-b1a6df7fe71c097b.rlib: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/error.rs crates/ingest/src/load.rs crates/ingest/src/quarantine.rs crates/ingest/src/sharder.rs
+
+/root/repo/target/release/deps/libwearscope_ingest-b1a6df7fe71c097b.rmeta: crates/ingest/src/lib.rs crates/ingest/src/engine.rs crates/ingest/src/error.rs crates/ingest/src/load.rs crates/ingest/src/quarantine.rs crates/ingest/src/sharder.rs
+
+crates/ingest/src/lib.rs:
+crates/ingest/src/engine.rs:
+crates/ingest/src/error.rs:
+crates/ingest/src/load.rs:
+crates/ingest/src/quarantine.rs:
+crates/ingest/src/sharder.rs:

@@ -9,8 +9,10 @@
 use proptest::prelude::*;
 
 use wearscope::core::merge::CoreAggregates;
-use wearscope::ingest::IngestEngine;
+use wearscope::faults::{corrupt_world, FaultSpec};
+use wearscope::ingest::{load_store_resilient, IngestEngine, IngestOptions};
 use wearscope::prelude::*;
+use wearscope::report::QuarantineReason;
 use wearscope::simtime::Calendar;
 use wearscope::trace::{MmeEvent, MmeRecord, ProxyRecord, Scheme};
 
@@ -110,7 +112,7 @@ proptest! {
 
         let seq = CoreAggregates::sequential(&ctx);
         for workers in 1..=8 {
-            let (par, report) = IngestEngine::new(workers).compute(&ctx);
+            let (par, report) = IngestEngine::new(workers).compute(&ctx).unwrap();
 
             // Structural equality over everything first.
             prop_assert_eq!(&par.activity, &seq.activity);
@@ -158,5 +160,125 @@ proptest! {
             }
             prop_assert_eq!(report.parse_errors(), 0);
         }
+    }
+}
+
+/// Builds the same record vectors the first property uses.
+fn build_records(
+    db: &DeviceDb,
+    proxy_raw: Vec<(u64, u64, usize, bool, u64, u64)>,
+    mme_raw: Vec<(u64, u64, u32, bool)>,
+) -> (Vec<ProxyRecord>, Vec<MmeRecord>) {
+    let proxy = proxy_raw
+        .into_iter()
+        .map(|(u, t, h, https, down, up)| ProxyRecord {
+            timestamp: SimTime::from_secs(t),
+            user: UserId(u),
+            imei: imei_for(db, u),
+            host: HOSTS[h].into(),
+            scheme: if https { Scheme::Https } else { Scheme::Http },
+            bytes_down: down,
+            bytes_up: up,
+        })
+        .collect();
+    let mme = mme_raw
+        .into_iter()
+        .map(|(u, t, sector, detach)| MmeRecord {
+            timestamp: SimTime::from_secs(t),
+            user: UserId(u),
+            imei: imei_for(db, u),
+            event: if detach {
+                MmeEvent::Detach
+            } else {
+                MmeEvent::SectorUpdate
+            },
+            sector,
+        })
+        .collect();
+    (proxy, mme)
+}
+
+proptest! {
+    /// For any random trace, any corruption seed, and any worker count, the
+    /// resilient load of the corrupted world quarantines the *same* records
+    /// (same survivors, same per-reason counts) and the sharded analysis of
+    /// the survivors stays bit-identical to the sequential fold.
+    #[test]
+    fn corrupted_world_ingest_is_bit_identical(
+        proxy_raw in arb_proxy(),
+        mme_raw in arb_mme(),
+        fault_seed in 0u64..1000,
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static CASE: AtomicU64 = AtomicU64::new(0);
+
+        let db = DeviceDb::standard();
+        let (proxy, mme) = build_records(&db, proxy_raw, mme_raw);
+        let store = TraceStore::from_records(proxy, mme);
+        let dir = std::env::temp_dir().join(format!(
+            "wearscope-detprop-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        store.save(&dir).unwrap();
+        let spec: FaultSpec = "all=0.02".parse().unwrap();
+        corrupt_world(&dir, fault_seed, &spec).unwrap();
+
+        // Budget off: this property is about determinism, not the budget,
+        // and a tiny random store can lose most of its lines to `all=0.02`
+        // (truncate alone always claims one line per file).
+        let opts = IngestOptions {
+            max_timestamp: Some(SimTime::from_days(16)),
+            ..IngestOptions::default()
+        }
+        .with_max_error_rate(1.0);
+
+        let mut baseline: Option<(TraceStore, Vec<u64>)> = None;
+        for workers in [1usize, 2, 5, 8] {
+            let (loaded, report) = load_store_resilient(&dir, workers, &opts).unwrap();
+            let counts: Vec<u64> = QuarantineReason::ALL
+                .iter()
+                .map(|r| report.quality.quarantined.get(*r))
+                .collect();
+            match &baseline {
+                None => baseline = Some((loaded, counts)),
+                Some((first, first_counts)) => {
+                    prop_assert_eq!(loaded.proxy(), first.proxy());
+                    prop_assert_eq!(loaded.mme(), first.mme());
+                    prop_assert_eq!(&counts, first_counts);
+                }
+            }
+        }
+
+        // The surviving store analyzes bit-identically, sharded vs not.
+        let (survivors, _) = baseline.unwrap();
+        let mut sectors = SectorDirectory::new();
+        for i in 0..5 {
+            sectors.push(
+                wearscope::geo::GeoPoint::new(40.0 + 0.07 * f64::from(i), -3.0 - 0.05 * f64::from(i)),
+                None,
+            );
+        }
+        let catalog = AppCatalog::standard();
+        let ctx = StudyContext::new(
+            &survivors,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::new(14, 14, Calendar::PAPER),
+        );
+        let seq = CoreAggregates::sequential(&ctx);
+        for workers in [2usize, 5, 8] {
+            let (par, _) = IngestEngine::new(workers).compute(&ctx).unwrap();
+            prop_assert_eq!(&par.activity, &seq.activity);
+            prop_assert_eq!(&par.tx_stats, &seq.tx_stats);
+            prop_assert_eq!(&par.mobility, &seq.mobility);
+            prop_assert_eq!(&par.attributed, &seq.attributed);
+            prop_assert_eq!(
+                bits(par.tx_stats.size.samples()),
+                bits(seq.tx_stats.size.samples())
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
