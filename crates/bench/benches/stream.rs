@@ -1,0 +1,98 @@
+//! Streaming-engine throughput: the batch path (resilient load + one
+//! sequential fold over the whole store) vs the incremental runtime pulling
+//! the same logs through event-time windows. The streaming side is
+//! measured at two window widths so the per-window emission overhead is
+//! visible, and once with `collect_aggregates` on — the configuration the
+//! golden-equivalence test uses to reproduce batch results bit-identically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use wearscope_appdb::AppCatalog;
+use wearscope_bench::small_world;
+use wearscope_core::merge::CoreAggregates;
+use wearscope_core::StudyContext;
+use wearscope_devicedb::DeviceDb;
+use wearscope_geo::SectorDirectory;
+use wearscope_ingest::{load_store_resilient, IngestOptions};
+use wearscope_simtime::SimDuration;
+use wearscope_stream::{
+    PumpOptions, PumpOutcome, StreamConfig, StreamRuntime, WindowSpec, WorldSource,
+};
+use wearscope_trace::TraceStore;
+
+fn stream_once(
+    ctx: &StudyContext<'_>,
+    dir: &std::path::Path,
+    config: StreamConfig,
+) -> wearscope_report::StreamSummary {
+    let mut rt = StreamRuntime::new(ctx, config);
+    let mut src = WorldSource::open(dir, false)
+        .expect("open logs")
+        .with_horizon(config.max_timestamp);
+    loop {
+        match rt.pump(&mut src, &PumpOptions::default()).expect("pump") {
+            PumpOutcome::Finished => break,
+            PumpOutcome::Pending => src.finish(),
+            PumpOutcome::Stopped => unreachable!("no stop_after configured"),
+        }
+    }
+    rt.finish();
+    rt.into_results().0
+}
+
+fn batch_vs_stream(c: &mut Criterion) {
+    let world = small_world();
+    let records = (world.store.proxy().len() + world.store.mme().len()) as u64;
+    let dir = std::env::temp_dir().join(format!("wearscope-bench-stream-{}", std::process::id()));
+    world.save(&dir).expect("saving bench world");
+    let opts = IngestOptions::for_world(&dir);
+
+    // The streaming context: empty store, live device DB (records arrive
+    // through the source, exactly as `wearscope stream` wires it).
+    let empty = TraceStore::new();
+    let db = DeviceDb::standard();
+    let catalog = AppCatalog::standard();
+    let sectors = SectorDirectory::new();
+    let stream_ctx = StudyContext::new(&empty, &db, &sectors, &catalog, world.config.window);
+
+    let mut group = c.benchmark_group("stream-throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records));
+
+    // Batch reference: load everything, then one sequential fold.
+    group.bench_function("batch-load-and-fold", |b| {
+        b.iter(|| {
+            let (store, _) = load_store_resilient(black_box(&dir), 1, &opts).expect("batch load");
+            let batch_ctx = StudyContext::new(&store, &db, &sectors, &catalog, world.config.window);
+            CoreAggregates::sequential(&batch_ctx)
+        })
+    });
+
+    for width_hours in [1u64, 24] {
+        let spec = WindowSpec::tumbling(SimDuration::from_hours(width_hours)).expect("spec");
+        let mut config = StreamConfig::new(spec, SimDuration::from_secs(300));
+        config.max_timestamp = opts.max_timestamp;
+        group.bench_with_input(
+            BenchmarkId::new("stream-windowed", format!("{width_hours}h")),
+            &config,
+            |b, config| b.iter(|| stream_once(black_box(&stream_ctx), &dir, *config)),
+        );
+    }
+
+    // With partial aggregates collected per window (what the equivalence
+    // contract pays for the ability to merge back into batch results).
+    let spec = WindowSpec::tumbling(SimDuration::from_hours(24)).expect("spec");
+    let mut config = StreamConfig::new(spec, SimDuration::from_secs(300));
+    config.max_timestamp = opts.max_timestamp;
+    config.collect_aggregates = true;
+    group.bench_function("stream-windowed/24h-collected", |b| {
+        b.iter(|| stream_once(black_box(&stream_ctx), &dir, config))
+    });
+
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, batch_vs_stream);
+criterion_main!(benches);

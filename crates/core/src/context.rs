@@ -78,8 +78,20 @@ impl<'a> StudyContext<'a> {
     }
 
     /// The device class behind an IMEI, if the device DB knows it.
+    ///
+    /// IMEIs present in the store at construction time are answered from
+    /// the cache; anything else falls back to a live device-DB lookup, so
+    /// a context built over an empty store (the streaming engine's case —
+    /// records arrive after construction) classifies identically to a
+    /// batch context built over the full store.
     pub fn device_class(&self, imei: u64) -> Option<DeviceClass> {
-        self.class_by_imei.get(&imei).copied().flatten()
+        match self.class_by_imei.get(&imei) {
+            Some(class) => *class,
+            None => Imei::from_u64(imei)
+                .ok()
+                .and_then(|i| self.db.lookup(i))
+                .map(|r| r.class),
+        }
     }
 
     /// `true` if this proxy record was issued by a SIM-enabled wearable.
@@ -202,5 +214,29 @@ mod tests {
         assert!(ctx.owners().is_empty());
         assert!(ctx.all_users().is_empty());
         assert_eq!(ctx.wearable_proxy().count(), 0);
+    }
+
+    #[test]
+    fn device_class_falls_back_to_db_on_cache_miss() {
+        // The streaming engine builds its context over an empty store and
+        // classifies records as they arrive — the uncached path must agree
+        // with the cached one.
+        let db = DeviceDb::standard();
+        let catalog = AppCatalog::standard();
+        let sectors = SectorDirectory::new();
+        let store = TraceStore::new();
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::compact(),
+        );
+        let w_imei = db.example_imei(db.wearable_tacs()[0], 1).as_u64();
+        assert_eq!(
+            ctx.device_class(w_imei),
+            Some(DeviceClass::CellularWearable)
+        );
+        assert_eq!(ctx.device_class(42), None); // invalid IMEI stays unknown
     }
 }

@@ -21,6 +21,7 @@
 //! | [`through_device`] | Sec. 6 Through-Device fingerprinting |
 //! | [`takeaways`] | the headline scalars, gathered in one struct |
 //! | [`merge`] | mergeable partial aggregates — the parallel-ingest substrate |
+//! | [`snapshot`] | deterministic text snapshots of partials (stream checkpoints) |
 //! | [`quality`] | data-quality QA: coverage gaps, identification misses |
 //!
 //! The pipeline deliberately consumes **only** what the paper's authors had:
@@ -39,6 +40,7 @@ pub mod merge;
 pub mod mobility;
 pub mod quality;
 pub mod sessions;
+pub mod snapshot;
 pub mod stats;
 pub mod takeaways;
 pub mod thirdparty;
@@ -47,4 +49,5 @@ pub mod weekly;
 
 pub use context::StudyContext;
 pub use merge::{CoreAggregates, Mergeable};
+pub use snapshot::{Snapshot, SnapshotError, SnapshotReader};
 pub use stats::Ecdf;

@@ -141,9 +141,9 @@ impl Mergeable for ActivityPartial {
 /// transaction/byte counters (48 slots: 24 weekday + 24 weekend hours).
 #[derive(Clone, Debug)]
 pub struct HourlyProfilePartial {
-    users: Vec<HashSet<(u64, UserId)>>,
-    tx: [u64; 48],
-    bytes: [u64; 48],
+    pub(crate) users: Vec<HashSet<(u64, UserId)>>,
+    pub(crate) tx: [u64; 48],
+    pub(crate) bytes: [u64; 48],
 }
 
 impl Mergeable for HourlyProfilePartial {
@@ -193,8 +193,8 @@ impl Mergeable for HourlyProfilePartial {
 /// reduction.
 #[derive(Clone, Debug, Default)]
 pub struct TransactionStatsPartial {
-    sizes: Vec<f64>,
-    activity: ActivityPartial,
+    pub(crate) sizes: Vec<f64>,
+    pub(crate) activity: ActivityPartial,
 }
 
 impl Mergeable for TransactionStatsPartial {
@@ -275,14 +275,28 @@ impl Mergeable for TrafficPartial {
 /// Partial for [`MobilityIndex`]: in-flight attachments, per-day sector
 /// sets, and exact dwell counters.
 ///
-/// Requires each `(user, imei)` event stream to be wholly within one shard
-/// and in log (time) order — the user-hash sharder guarantees this; dwell
-/// tracking is stateful and cannot span a split stream.
+/// Two partials of the same stream can be merged in either of two shapes:
+///
+/// * **user-disjoint shards** (the user-hash sharder) — no `(user, imei)`
+///   stream appears in both partials, and merge is a plain union;
+/// * **time-split segments** (the streaming engine's event-time windows) —
+///   `other` holds the *later* segment of any stream both partials saw.
+///   An attachment left open in `self` is closed at the first event the
+///   later segment recorded for that stream ([`MobilityPartial`] tracks
+///   that timestamp in `first_event`), which is exactly where the
+///   sequential fold would have closed it.
+///
+/// Within each partial, each `(user, imei)` stream must be absorbed in log
+/// (time) order — dwell tracking is stateful.
 #[derive(Clone, Debug, Default)]
 pub struct MobilityPartial {
-    current: HashMap<(UserId, u64), (u32, SimTime)>,
-    day_sectors: HashMap<(UserId, u64), HashSet<u32>>,
-    per_user: HashMap<UserId, UserMobility>,
+    pub(crate) current: HashMap<(UserId, u64), (u32, SimTime)>,
+    pub(crate) day_sectors: HashMap<(UserId, u64), HashSet<u32>>,
+    pub(crate) per_user: HashMap<UserId, UserMobility>,
+    /// Per `(user, imei)`: timestamp of the first MME event this partial
+    /// absorbed for that stream — the boundary a later time-split segment
+    /// supplies so an earlier segment's open dwell can be closed in merge.
+    pub(crate) first_event: HashMap<(UserId, u64), SimTime>,
 }
 
 fn close_dwell(
@@ -313,6 +327,7 @@ impl Mergeable for MobilityPartial {
 
     fn absorb(&mut self, _ctx: &StudyContext<'_>, r: &MmeRecord) {
         let key = (r.user, r.imei);
+        self.first_event.entry(key).or_insert(r.timestamp);
         match r.event {
             MmeEvent::Attach | MmeEvent::SectorUpdate => {
                 if let Some((sector, since)) = self.current.insert(key, (r.sector, r.timestamp)) {
@@ -332,12 +347,20 @@ impl Mergeable for MobilityPartial {
     }
 
     fn merge(&mut self, other: Self) {
-        for (key, v) in other.current {
-            let clash = self.current.insert(key, v);
-            debug_assert!(
-                clash.is_none(),
-                "user {key:?} split across shards — shard by user hash"
-            );
+        // Time-split closure: an attachment still open in this (earlier)
+        // partial ends where the later segment's stream begins — the
+        // sequential fold would have closed it at that same event
+        // (Attach/SectorUpdate close the previous sector; a leading Detach
+        // closes at detach time). For user-disjoint shards no key overlaps
+        // and this loop is a no-op.
+        for (key, first) in &other.first_event {
+            if let Some((sector, since)) = self.current.remove(key) {
+                close_dwell(&mut self.per_user, key.0, sector, since, *first);
+            }
+        }
+        self.current.extend(other.current);
+        for (key, first) in other.first_event {
+            self.first_event.entry(key).or_insert(first);
         }
         for (key, sectors) in other.day_sectors {
             self.day_sectors.entry(key).or_default().extend(sectors);
@@ -359,6 +382,7 @@ impl Mergeable for MobilityPartial {
             current,
             day_sectors,
             mut per_user,
+            first_event: _,
         } = self;
         // Close devices still attached at the end of the window.
         let end = ctx.window.detailed().end();
@@ -377,9 +401,9 @@ impl Mergeable for MobilityPartial {
 /// `(app, user) → days` sets over attributed wearable transactions.
 #[derive(Clone, Debug, Default)]
 pub struct AppPopularityPartial {
-    day_users: HashMap<(AppId, u64), HashSet<UserId>>,
-    user_days: HashMap<(AppId, UserId), HashSet<u64>>,
-    apps: HashSet<AppId>,
+    pub(crate) day_users: HashMap<(AppId, u64), HashSet<UserId>>,
+    pub(crate) user_days: HashMap<(AppId, UserId), HashSet<u64>>,
+    pub(crate) apps: HashSet<AppId>,
 }
 
 impl Mergeable for AppPopularityPartial {
@@ -609,6 +633,55 @@ mod tests {
             direct.bytes_ratio.to_bits()
         );
         assert_eq!(via_adapter.tx_ratio.to_bits(), direct.tx_ratio.to_bits());
+    }
+
+    /// Time-split merge (the streaming engine's shape): splitting one
+    /// user's MME stream at an arbitrary time boundary and merging the two
+    /// segments matches the sequential fold exactly — including an open
+    /// dwell crossing the boundary and a leading Detach in the later half.
+    #[test]
+    fn time_split_merge_matches_sequential() {
+        let db = DeviceDb::standard();
+        let imei = db.example_imei(db.wearable_tacs()[0], 1).as_u64();
+        let mme = |t: u64, event: MmeEvent, sector: u32| MmeRecord {
+            timestamp: SimTime::from_secs(t),
+            user: UserId(1),
+            imei,
+            event,
+            sector,
+        };
+        let records = vec![
+            mme(100, MmeEvent::Attach, 5),
+            mme(400, MmeEvent::SectorUpdate, 6),
+            // -- split point A (open dwell in sector 6 crosses it) --
+            mme(900, MmeEvent::SectorUpdate, 7),
+            mme(1500, MmeEvent::Detach, 7),
+            mme(2000, MmeEvent::Attach, 8),
+            // -- split point B (later half starts with a Detach) --
+            mme(2600, MmeEvent::Detach, 8),
+            mme(3000, MmeEvent::Attach, 9),
+        ];
+        let store = TraceStore::new();
+        let sectors = SectorDirectory::new();
+        let catalog = AppCatalog::standard();
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::new(14, 14, Calendar::PAPER),
+        );
+        let sequential: MobilityPartial = fold(&ctx, &records);
+        for split in [2, 5] {
+            let first: MobilityPartial = fold(&ctx, &records[..split]);
+            let second: MobilityPartial = fold(&ctx, &records[split..]);
+            let merged = merge_all([first, second]);
+            assert_eq!(
+                merged.finish(&ctx).per_user,
+                sequential.clone().finish(&ctx).per_user,
+                "split at {split}"
+            );
+        }
     }
 
     /// Identity partials finish into empty results.

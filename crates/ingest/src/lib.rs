@@ -53,7 +53,7 @@ pub mod sharder;
 pub use engine::IngestEngine;
 pub use error::IngestError;
 pub use load::{load_store_parallel, load_store_resilient};
-pub use quarantine::{IngestOptions, DEFAULT_MAX_ERROR_RATE};
+pub use quarantine::{reason_for_codec, IngestOptions, DEFAULT_MAX_ERROR_RATE};
 pub use sharder::{shard_store, MemoryShards};
 
 /// The number of available CPUs — the default for `--workers`.

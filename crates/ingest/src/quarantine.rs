@@ -97,7 +97,7 @@ impl IngestOptions {
 /// Maps a shard reader's line-level decode failure to its quarantine
 /// reason: too few fields means the record was cut short; everything else
 /// is content damage within the line.
-pub(crate) fn reason_for_codec(error: &CodecError) -> QuarantineReason {
+pub fn reason_for_codec(error: &CodecError) -> QuarantineReason {
     match error {
         CodecError::MissingField { .. } => QuarantineReason::Truncated,
         CodecError::BadField { .. } | CodecError::TrailingFields { .. } | CodecError::BadEscape => {

@@ -10,6 +10,7 @@ pub mod figures;
 pub mod ingest;
 pub mod plot;
 pub mod quality;
+pub mod stream;
 pub mod summary;
 pub mod table;
 
@@ -19,5 +20,6 @@ pub use figures::FigureCsvExporter;
 pub use ingest::{IngestReport, ShardProgress, ShardSource};
 pub use plot::{bar_chart_log, ecdf_plot, sparkline};
 pub use quality::{DataQuality, QuarantineCounts, QuarantineReason, ShardFailure};
+pub use stream::{StreamSummary, WindowReport};
 pub use summary::render_full_report;
 pub use table::Table;

@@ -1,0 +1,237 @@
+//! Per-window reports for the streaming engine.
+//!
+//! A [`WindowReport`] is the finalized summary of one event-time window:
+//! emitted once, when the low watermark passes the window's end (plus the
+//! attribution slack). [`StreamSummary`] collects every emitted window
+//! plus stream-level counters; its rendering is **deterministic** — no
+//! wall-clock timestamps, no resume markers — so a killed-and-resumed run
+//! and an uninterrupted one produce byte-identical report files, the
+//! invariant the CI kill/resume step diffs for.
+
+use core::fmt::Write as _;
+
+use crate::quality::DataQuality;
+
+/// The finalized summary of one event-time window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowReport {
+    /// Window index (`start = index * slide`).
+    pub index: u64,
+    /// Inclusive window start, in sim-seconds.
+    pub start_secs: u64,
+    /// Exclusive window end, in sim-seconds.
+    pub end_secs: u64,
+    /// Proxy records absorbed (all devices).
+    pub proxy_records: u64,
+    /// MME records absorbed.
+    pub mme_records: u64,
+    /// Wearable proxy transactions absorbed.
+    pub wearable_tx: u64,
+    /// Wearable proxy bytes absorbed.
+    pub wearable_bytes: u64,
+    /// Distinct users seen in the window (proxy side).
+    pub users: u64,
+    /// Wearable transactions attributed to an app.
+    pub attributed: u64,
+    /// Records that arrived after the watermark had passed their timestamp
+    /// but within the allowed lateness, and were merged into this window.
+    pub late_merged: u64,
+    /// `true` if backpressure forced this window out before its watermark
+    /// (drop-oldest policy) — its counts may be incomplete.
+    pub forced: bool,
+}
+
+impl WindowReport {
+    /// Human-readable one-liner, stable across runs.
+    pub fn render_line(&self) -> String {
+        format!(
+            "window {:>6}  [{:>9}s, {:>9}s)  proxy={} mme={} users={} wtx={} wbytes={} attributed={} late={}{}",
+            self.index,
+            self.start_secs,
+            self.end_secs,
+            self.proxy_records,
+            self.mme_records,
+            self.users,
+            self.wearable_tx,
+            self.wearable_bytes,
+            self.attributed,
+            self.late_merged,
+            if self.forced { "  [forced]" } else { "" },
+        )
+    }
+
+    /// Machine-readable TSV line (checkpoint format).
+    pub fn to_tsv(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            self.index,
+            self.start_secs,
+            self.end_secs,
+            self.proxy_records,
+            self.mme_records,
+            self.wearable_tx,
+            self.wearable_bytes,
+            self.users,
+            self.attributed,
+            self.late_merged,
+            u8::from(self.forced),
+        )
+    }
+
+    /// Parses a line written by [`WindowReport::to_tsv`].
+    ///
+    /// # Errors
+    /// Returns a description of the malformed field.
+    pub fn from_tsv(line: &str) -> Result<WindowReport, String> {
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 11 {
+            return Err(format!(
+                "window report needs 11 fields, found {}",
+                fields.len()
+            ));
+        }
+        let num = |i: usize| -> Result<u64, String> {
+            fields[i]
+                .parse::<u64>()
+                .map_err(|_| format!("bad window report field {i}: `{}`", fields[i]))
+        };
+        Ok(WindowReport {
+            index: num(0)?,
+            start_secs: num(1)?,
+            end_secs: num(2)?,
+            proxy_records: num(3)?,
+            mme_records: num(4)?,
+            wearable_tx: num(5)?,
+            wearable_bytes: num(6)?,
+            users: num(7)?,
+            attributed: num(8)?,
+            late_merged: num(9)?,
+            forced: match fields[10] {
+                "0" => false,
+                "1" => true,
+                other => return Err(format!("bad forced flag `{other}`")),
+            },
+        })
+    }
+}
+
+/// End-of-stream summary: every emitted window in index order, plus
+/// stream-level counters and the data-quality ledger.
+#[derive(Clone, Debug, Default)]
+pub struct StreamSummary {
+    /// Emitted windows, ascending by index, gaps filled with empty windows.
+    pub windows: Vec<WindowReport>,
+    /// Seen/kept/quarantined ledger (same shape as the batch loader's).
+    pub quality: DataQuality,
+    /// Total late-but-within-lateness records merged across all windows.
+    pub late_merged: u64,
+    /// Windows emitted early by drop-oldest backpressure.
+    pub forced_emits: u64,
+    /// Final low watermark in sim-seconds (`None` for an empty stream).
+    pub final_watermark_secs: Option<u64>,
+}
+
+impl StreamSummary {
+    /// Full deterministic report: one line per window, then totals.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== stream windows ==\n");
+        for w in &self.windows {
+            out.push_str(&w.render_line());
+            out.push('\n');
+        }
+        out.push_str("== stream summary ==\n");
+        let _ = writeln!(
+            out,
+            "windows emitted: {} ({} forced)",
+            self.windows.len(),
+            self.forced_emits
+        );
+        let _ = writeln!(out, "late merged: {}", self.late_merged);
+        match self.final_watermark_secs {
+            Some(w) => {
+                let _ = writeln!(out, "final watermark: {w}s");
+            }
+            None => {
+                let _ = writeln!(out, "final watermark: none (empty stream)");
+            }
+        }
+        let _ = writeln!(out, "quality: {}", self.quality.summary_line());
+        out
+    }
+
+    /// One-line summary for log output.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} windows ({} forced), {} late merged, {}",
+            self.windows.len(),
+            self.forced_emits,
+            self.late_merged,
+            self.quality.summary_line()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WindowReport {
+        WindowReport {
+            index: 3,
+            start_secs: 10800,
+            end_secs: 14400,
+            proxy_records: 120,
+            mme_records: 44,
+            wearable_tx: 17,
+            wearable_bytes: 90210,
+            users: 9,
+            attributed: 11,
+            late_merged: 2,
+            forced: false,
+        }
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let w = sample();
+        assert_eq!(WindowReport::from_tsv(&w.to_tsv()).unwrap(), w);
+        let forced = WindowReport { forced: true, ..w };
+        assert_eq!(WindowReport::from_tsv(&forced.to_tsv()).unwrap(), forced);
+    }
+
+    #[test]
+    fn tsv_rejects_malformed() {
+        assert!(WindowReport::from_tsv("1\t2\t3").is_err());
+        let w = sample().to_tsv().replace("120", "x");
+        assert!(WindowReport::from_tsv(&w).is_err());
+    }
+
+    #[test]
+    fn render_is_deterministic_and_complete() {
+        let mut s = StreamSummary {
+            late_merged: 2,
+            final_watermark_secs: Some(14100),
+            ..StreamSummary::default()
+        };
+        s.windows.push(sample());
+        s.quality.records_seen = 164;
+        s.quality.records_kept = 164;
+        let a = s.render();
+        let b = s.render();
+        assert_eq!(a, b);
+        assert!(a.contains("window      3"), "{a}");
+        assert!(a.contains("windows emitted: 1 (0 forced)"), "{a}");
+        assert!(a.contains("final watermark: 14100s"), "{a}");
+        assert!(s.summary_line().contains("1 windows"));
+    }
+
+    #[test]
+    fn forced_window_is_marked() {
+        let w = WindowReport {
+            forced: true,
+            ..sample()
+        };
+        assert!(w.render_line().ends_with("[forced]"));
+    }
+}

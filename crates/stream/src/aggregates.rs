@@ -1,0 +1,297 @@
+//! Per-window aggregate state.
+//!
+//! Each open window holds the same six [`Mergeable`] partials the parallel
+//! ingest engine shards over, plus the window's attributed transactions
+//! and a handful of exact counters. Because the partials obey the
+//! determinism contract of [`wearscope_core::merge`], merging every
+//! *tumbling* window's partials in index order and finishing once
+//! reproduces the batch [`CoreAggregates`] bit-identically — the golden
+//! equivalence the integration tests pin. (Sliding windows intentionally
+//! multi-count records across overlapping windows; their partials describe
+//! each window, not a partition of the stream.)
+
+use wearscope_core::merge::{
+    ActivityPartial, AppPopularityPartial, HourlyProfilePartial, Mergeable, MobilityPartial,
+    TrafficPartial, TransactionStatsPartial,
+};
+use wearscope_core::sessions::AttributedTx;
+use wearscope_core::snapshot::{Snapshot, SnapshotError, SnapshotReader};
+use wearscope_core::{CoreAggregates, StudyContext};
+use wearscope_report::WindowReport;
+use wearscope_trace::{MmeRecord, ProxyRecord};
+
+/// Exact counters a window report is rendered from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowCounters {
+    /// Proxy records absorbed (all devices).
+    pub proxy_records: u64,
+    /// MME records absorbed.
+    pub mme_records: u64,
+    /// Wearable proxy transactions absorbed.
+    pub wearable_tx: u64,
+    /// Wearable proxy bytes absorbed.
+    pub wearable_bytes: u64,
+    /// Late-but-within-lateness records merged into this window.
+    pub late_merged: u64,
+}
+
+/// Every partial aggregate of one event-time window.
+#[derive(Clone, Debug)]
+pub struct WindowAggregates {
+    /// Per-user wearable activity partial.
+    pub activity: ActivityPartial,
+    /// Hourly profile partial.
+    pub hourly: HourlyProfilePartial,
+    /// Transaction statistics partial.
+    pub tx_stats: TransactionStatsPartial,
+    /// All-device traffic partial.
+    pub traffic: TrafficPartial,
+    /// Mobility partial (MME side).
+    pub mobility: MobilityPartial,
+    /// App popularity partial, fed from attributed transactions.
+    pub popularity: AppPopularityPartial,
+    /// Attributed transactions routed to this window, in emission order.
+    pub attributed: Vec<AttributedTx>,
+    /// Report counters.
+    pub counters: WindowCounters,
+}
+
+impl WindowAggregates {
+    /// The empty window.
+    pub fn identity() -> WindowAggregates {
+        WindowAggregates {
+            activity: ActivityPartial::identity(),
+            hourly: HourlyProfilePartial::identity(),
+            tx_stats: TransactionStatsPartial::identity(),
+            traffic: TrafficPartial::identity(),
+            mobility: MobilityPartial::identity(),
+            popularity: AppPopularityPartial::identity(),
+            attributed: Vec::new(),
+            counters: WindowCounters::default(),
+        }
+    }
+
+    /// Folds one proxy record into the window. `late` marks a record that
+    /// arrived behind the watermark but within the allowed lateness.
+    pub fn absorb_proxy(&mut self, ctx: &StudyContext<'_>, r: &ProxyRecord, late: bool) {
+        self.activity.absorb(ctx, r);
+        self.hourly.absorb(ctx, r);
+        self.tx_stats.absorb(ctx, r);
+        self.traffic.absorb(ctx, r);
+        self.counters.proxy_records += 1;
+        self.counters.late_merged += u64::from(late);
+        if ctx.is_wearable_record(r) {
+            self.counters.wearable_tx += 1;
+            self.counters.wearable_bytes += r.bytes_total();
+        }
+    }
+
+    /// Folds one MME record into the window.
+    pub fn absorb_mme(&mut self, ctx: &StudyContext<'_>, r: &MmeRecord, late: bool) {
+        self.mobility.absorb(ctx, r);
+        self.counters.mme_records += 1;
+        self.counters.late_merged += u64::from(late);
+    }
+
+    /// Folds one attributed transaction (routed by transaction time).
+    pub fn absorb_attributed(&mut self, ctx: &StudyContext<'_>, tx: &AttributedTx) {
+        self.popularity.absorb(ctx, tx);
+        self.attributed.push(*tx);
+    }
+
+    /// Merges another window's partials into this one (callers supply
+    /// ascending window index, matching the shard-order contract).
+    pub fn merge(&mut self, other: WindowAggregates) {
+        self.activity.merge(other.activity);
+        self.hourly.merge(other.hourly);
+        self.tx_stats.merge(other.tx_stats);
+        self.traffic.merge(other.traffic);
+        self.mobility.merge(other.mobility);
+        self.popularity.merge(other.popularity);
+        self.attributed.extend(other.attributed);
+        self.counters.proxy_records += other.counters.proxy_records;
+        self.counters.mme_records += other.counters.mme_records;
+        self.counters.wearable_tx += other.counters.wearable_tx;
+        self.counters.wearable_bytes += other.counters.wearable_bytes;
+        self.counters.late_merged += other.counters.late_merged;
+    }
+
+    /// Finishes into the public aggregate bundle — same final stable sort
+    /// as the batch and parallel-ingest paths.
+    pub fn finish(self, ctx: &StudyContext<'_>) -> CoreAggregates {
+        let mut attributed = self.attributed;
+        attributed.sort_by_key(|t| (t.user, t.timestamp));
+        CoreAggregates {
+            activity: self.activity.finish(ctx),
+            hourly: self.hourly.finish(ctx),
+            tx_stats: self.tx_stats.finish(ctx),
+            traffic: self.traffic.finish(ctx),
+            mobility: self.mobility.finish(ctx),
+            popularity: self.popularity.finish(ctx),
+            attributed,
+        }
+    }
+
+    /// Renders the finalized window report.
+    pub fn report(&self, index: u64, start_secs: u64, end_secs: u64, forced: bool) -> WindowReport {
+        WindowReport {
+            index,
+            start_secs,
+            end_secs,
+            proxy_records: self.counters.proxy_records,
+            mme_records: self.counters.mme_records,
+            wearable_tx: self.counters.wearable_tx,
+            wearable_bytes: self.counters.wearable_bytes,
+            users: self.traffic.per_user.len() as u64,
+            attributed: self.attributed.iter().filter(|t| t.app.is_some()).count() as u64,
+            late_merged: self.counters.late_merged,
+            forced,
+        }
+    }
+}
+
+impl Snapshot for WindowAggregates {
+    fn snapshot(&self, out: &mut String) {
+        let c = self.counters;
+        out.push_str(&format!(
+            "window-counters\t{}\t{}\t{}\t{}\t{}\n",
+            c.proxy_records, c.mme_records, c.wearable_tx, c.wearable_bytes, c.late_merged
+        ));
+        self.attributed.snapshot(out);
+        self.activity.snapshot(out);
+        self.hourly.snapshot(out);
+        self.tx_stats.snapshot(out);
+        self.traffic.snapshot(out);
+        self.mobility.snapshot(out);
+        self.popularity.snapshot(out);
+    }
+
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let fields = r.tagged("window-counters")?;
+        if fields.len() != 5 {
+            return Err(r.err("window-counters needs 5 fields"));
+        }
+        let num = |s: &str| -> Result<u64, SnapshotError> {
+            s.parse::<u64>()
+                .map_err(|_| r.err(format!("bad counter `{s}`")))
+        };
+        let counters = WindowCounters {
+            proxy_records: num(fields[0])?,
+            mme_records: num(fields[1])?,
+            wearable_tx: num(fields[2])?,
+            wearable_bytes: num(fields[3])?,
+            late_merged: num(fields[4])?,
+        };
+        Ok(WindowAggregates {
+            attributed: Vec::<AttributedTx>::restore(r)?,
+            activity: ActivityPartial::restore(r)?,
+            hourly: HourlyProfilePartial::restore(r)?,
+            tx_stats: TransactionStatsPartial::restore(r)?,
+            traffic: TrafficPartial::restore(r)?,
+            mobility: MobilityPartial::restore(r)?,
+            popularity: AppPopularityPartial::restore(r)?,
+            counters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wearscope_appdb::AppCatalog;
+    use wearscope_devicedb::DeviceDb;
+    use wearscope_geo::SectorDirectory;
+    use wearscope_simtime::{Calendar, ObservationWindow, SimTime};
+    use wearscope_trace::{Scheme, TraceStore, UserId};
+
+    #[test]
+    fn absorb_report_and_snapshot_roundtrip() {
+        let db = DeviceDb::standard();
+        let catalog = AppCatalog::standard();
+        let sectors = SectorDirectory::new();
+        let store = TraceStore::new();
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::new(14, 14, Calendar::PAPER),
+        );
+        let mut w = WindowAggregates::identity();
+        for i in 0..10u64 {
+            let r = ProxyRecord {
+                timestamp: SimTime::from_secs(100 + i * 7),
+                user: UserId(1 + i % 2),
+                imei: db
+                    .example_imei(db.wearable_tacs()[0], (1 + i % 2) as u32)
+                    .as_u64(),
+                host: "api.weather.com".into(),
+                scheme: Scheme::Https,
+                bytes_down: 100,
+                bytes_up: 11,
+            };
+            w.absorb_proxy(&ctx, &r, i == 9);
+        }
+        let report = w.report(0, 0, 3600, false);
+        assert_eq!(report.proxy_records, 10);
+        assert_eq!(report.wearable_tx, 10);
+        assert_eq!(report.wearable_bytes, 10 * 111);
+        assert_eq!(report.users, 2);
+        assert_eq!(report.late_merged, 1);
+
+        let mut text = String::new();
+        w.snapshot(&mut text);
+        let mut reader = SnapshotReader::new(&text);
+        let restored = WindowAggregates::restore(&mut reader).unwrap();
+        let mut text2 = String::new();
+        restored.snapshot(&mut text2);
+        assert_eq!(text, text2);
+        assert_eq!(restored.counters, w.counters);
+        assert_eq!(restored.report(0, 0, 3600, false), report);
+    }
+
+    #[test]
+    fn merged_windows_finish_like_one_window() {
+        let db = DeviceDb::standard();
+        let catalog = AppCatalog::standard();
+        let sectors = SectorDirectory::new();
+        let store = TraceStore::new();
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::new(14, 14, Calendar::PAPER),
+        );
+        let recs: Vec<ProxyRecord> = (0..40u64)
+            .map(|i| ProxyRecord {
+                timestamp: SimTime::from_secs(i * 200),
+                user: UserId(1 + i % 3),
+                imei: db
+                    .example_imei(db.wearable_tacs()[0], (1 + i % 3) as u32)
+                    .as_u64(),
+                host: "api.weather.com".into(),
+                scheme: Scheme::Https,
+                bytes_down: 50 + i,
+                bytes_up: 0,
+            })
+            .collect();
+        let mut whole = WindowAggregates::identity();
+        let mut first = WindowAggregates::identity();
+        let mut second = WindowAggregates::identity();
+        for r in &recs {
+            whole.absorb_proxy(&ctx, r, false);
+            if r.timestamp.as_secs() < 3600 {
+                first.absorb_proxy(&ctx, r, false);
+            } else {
+                second.absorb_proxy(&ctx, r, false);
+            }
+        }
+        first.merge(second);
+        let a = whole.finish(&ctx);
+        let b = first.finish(&ctx);
+        assert_eq!(a.activity, b.activity);
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.tx_stats, b.tx_stats);
+    }
+}

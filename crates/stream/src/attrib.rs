@@ -1,0 +1,534 @@
+//! Incremental third-party attribution.
+//!
+//! The batch pipeline attributes a third-party wearable transaction to the
+//! app of the *temporally nearest* first-party transaction of the same
+//! user within ±60 s ([`wearscope_core::sessions`]), with two lookahead
+//! properties a streaming engine has to reproduce without seeing the
+//! future: the nearest anchor may lie *after* the transaction, and ties
+//! (equal gap both ways) go to the past anchor.
+//!
+//! The attributor keeps a per-user FIFO queue of pending transactions:
+//!
+//! * a **first-party** arrival resolves every queued transaction it is a
+//!   future anchor for (its time exceeds theirs), becomes the past-anchor
+//!   candidate for the rest, and enqueues itself already resolved;
+//! * a **third-party** arrival enqueues carrying the best past anchor seen
+//!   so far, and waits;
+//! * when the low watermark `W` passes `t + 60 s`, a transaction at `t`
+//!   can no longer gain a future anchor (every kept arrival has timestamp
+//!   `>= W`) and is resolved from its past candidate alone.
+//!
+//! Emission drains each queue **front-in-order**: a resolved transaction
+//! behind a still-waiting one stays queued, so per-user emission order
+//! equals arrival order — which is what makes the merged streaming output,
+//! after the final stable sort by `(user, timestamp)`, bit-identical to
+//! the batch attribution on an in-order stream.
+//!
+//! **Late-record caveat.** On a stream with records later than an already
+//! seen anchor (possible within the allowed lateness), attribution is a
+//! best-effort approximation of the batch result: the late transaction
+//! resolves against the current anchor state rather than the full
+//! timeline. On an in-order stream — every persisted world — the two are
+//! identical; the golden equivalence test pins that down.
+
+use std::collections::{HashMap, VecDeque};
+
+use wearscope_appdb::AppId;
+use wearscope_core::sessions::{AttributedTx, SESSION_GAP_SECS};
+use wearscope_core::snapshot::{Snapshot, SnapshotError, SnapshotReader};
+use wearscope_simtime::{SimDuration, SimTime};
+use wearscope_trace::UserId;
+
+/// The ± attribution gap as a duration.
+fn gap() -> SimDuration {
+    SimDuration::from_secs(SESSION_GAP_SECS)
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TxState {
+    /// Attribution decided; waiting only for queue order.
+    Ready {
+        app: Option<AppId>,
+        first_party: bool,
+    },
+    /// Waiting for a possible future anchor, carrying the best past one.
+    Waiting { past: Option<(SimTime, AppId)> },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct QueuedTx {
+    t: SimTime,
+    bytes: u64,
+    state: TxState,
+}
+
+#[derive(Clone, Debug, Default)]
+struct UserState {
+    queue: VecDeque<QueuedTx>,
+    /// The most recent first-party anchor (later log order wins ties).
+    last_anchor: Option<(SimTime, AppId)>,
+}
+
+/// Nearest-anchor resolution: past wins ties, both sides capped at ±60 s.
+fn resolve(
+    past: Option<(SimTime, AppId)>,
+    future: Option<(SimTime, AppId)>,
+    t: SimTime,
+) -> Option<AppId> {
+    let mut best: Option<(u64, AppId)> = None;
+    if let Some((at, app)) = past {
+        let g = t.saturating_since(at).as_secs();
+        if g <= SESSION_GAP_SECS {
+            best = Some((g, app));
+        }
+    }
+    if let Some((at, app)) = future {
+        let g = at.saturating_since(t).as_secs();
+        if g <= SESSION_GAP_SECS && best.is_none_or(|(bg, _)| g < bg) {
+            best = Some((g, app));
+        }
+    }
+    best.map(|(_, a)| a)
+}
+
+/// Streaming replacement for batch nearest-anchor attribution.
+#[derive(Clone, Debug, Default)]
+pub struct StreamingAttributor {
+    users: HashMap<UserId, UserState>,
+}
+
+impl StreamingAttributor {
+    /// An attributor with no pending state.
+    pub fn new() -> StreamingAttributor {
+        StreamingAttributor::default()
+    }
+
+    /// Transactions queued (resolved or waiting) across all users.
+    pub fn pending(&self) -> usize {
+        self.users.values().map(|u| u.queue.len()).sum()
+    }
+
+    /// Feeds one classified wearable transaction. Resolved transactions
+    /// that reach the queue front are appended to `out` in arrival order.
+    pub fn observe(
+        &mut self,
+        user: UserId,
+        t: SimTime,
+        app: Option<AppId>,
+        first_party: bool,
+        bytes: u64,
+        out: &mut Vec<AttributedTx>,
+    ) {
+        let state = self.users.entry(user).or_default();
+        match (first_party, app) {
+            (true, Some(a)) => {
+                let anchor = (t, a);
+                for entry in state.queue.iter_mut() {
+                    if let TxState::Waiting { past } = entry.state {
+                        if t > entry.t {
+                            // This arrival is the first future anchor the
+                            // queued tx will ever see (arrivals are
+                            // time-ordered on in-order streams).
+                            entry.state = TxState::Ready {
+                                app: resolve(past, Some(anchor), entry.t),
+                                first_party: false,
+                            };
+                        } else {
+                            // A (newer) past candidate: later log order
+                            // wins among anchors at or before the tx.
+                            let replace = past.is_none_or(|(at, _)| at <= t);
+                            if replace {
+                                entry.state = TxState::Waiting { past: Some(anchor) };
+                            }
+                        }
+                    }
+                }
+                state.queue.push_back(QueuedTx {
+                    t,
+                    bytes,
+                    state: TxState::Ready {
+                        app: Some(a),
+                        first_party: true,
+                    },
+                });
+                let replace = state.last_anchor.is_none_or(|(at, _)| at <= t);
+                if replace {
+                    state.last_anchor = Some(anchor);
+                }
+            }
+            _ => {
+                let entry = match state.last_anchor {
+                    // Late transaction behind the current anchor: resolve
+                    // against it as an already-seen future anchor (the
+                    // documented late-record approximation).
+                    Some((at, a)) if at > t => QueuedTx {
+                        t,
+                        bytes,
+                        state: TxState::Ready {
+                            app: resolve(None, Some((at, a)), t),
+                            first_party: false,
+                        },
+                    },
+                    past => QueuedTx {
+                        t,
+                        bytes,
+                        state: TxState::Waiting { past },
+                    },
+                };
+                state.queue.push_back(entry);
+            }
+        }
+        Self::drain(user, state, out);
+    }
+
+    /// Advances the low watermark: transactions whose future-anchor window
+    /// is closed (`t + 60 s < watermark`) resolve from their past
+    /// candidate. Users are visited in sorted order for determinism.
+    pub fn advance(&mut self, watermark: SimTime, out: &mut Vec<AttributedTx>) {
+        let mut users: Vec<UserId> = self.users.keys().copied().collect();
+        users.sort_unstable();
+        for user in users {
+            let state = self.users.get_mut(&user).expect("user state present");
+            for entry in state.queue.iter_mut() {
+                if let TxState::Waiting { past } = entry.state {
+                    if entry.t.saturating_add(gap()) < watermark {
+                        entry.state = TxState::Ready {
+                            app: resolve(past, None, entry.t),
+                            first_party: false,
+                        };
+                    }
+                }
+            }
+            Self::drain(user, state, out);
+        }
+    }
+
+    /// End of stream: resolves everything still waiting and drains all
+    /// queues (no future anchor can arrive anymore).
+    pub fn flush(&mut self, out: &mut Vec<AttributedTx>) {
+        self.advance(SimTime::MAX, out);
+    }
+
+    fn drain(user: UserId, state: &mut UserState, out: &mut Vec<AttributedTx>) {
+        while let Some(front) = state.queue.front() {
+            match front.state {
+                TxState::Ready { app, first_party } => {
+                    out.push(AttributedTx {
+                        user,
+                        timestamp: front.t,
+                        app,
+                        first_party,
+                        bytes: front.bytes,
+                    });
+                    state.queue.pop_front();
+                }
+                TxState::Waiting { .. } => break,
+            }
+        }
+    }
+}
+
+impl Snapshot for StreamingAttributor {
+    fn snapshot(&self, out: &mut String) {
+        let mut users: Vec<&UserId> = self.users.keys().collect();
+        users.sort_unstable();
+        out.push_str(&format!("attributor\t{}\n", users.len()));
+        for user in users {
+            let state = &self.users[user];
+            let (at, app) = match state.last_anchor {
+                Some((at, app)) => (at.as_secs().to_string(), app.0.to_string()),
+                None => ("-".into(), "-".into()),
+            };
+            out.push_str(&format!(
+                "u\t{}\t{at}\t{app}\t{}\n",
+                user.0,
+                state.queue.len()
+            ));
+            for entry in &state.queue {
+                match entry.state {
+                    TxState::Ready { app, first_party } => {
+                        let app = match app {
+                            Some(a) => a.0.to_string(),
+                            None => "-".into(),
+                        };
+                        out.push_str(&format!(
+                            "q\t{}\t{}\tR\t{app}\t{}\n",
+                            entry.t.as_secs(),
+                            entry.bytes,
+                            u8::from(first_party)
+                        ));
+                    }
+                    TxState::Waiting { past } => {
+                        let (at, app) = match past {
+                            Some((at, app)) => (at.as_secs().to_string(), app.0.to_string()),
+                            None => ("-".into(), "-".into()),
+                        };
+                        out.push_str(&format!(
+                            "q\t{}\t{}\tW\t{at}\t{app}\n",
+                            entry.t.as_secs(),
+                            entry.bytes
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        fn num(r: &SnapshotReader<'_>, s: &str) -> Result<u64, SnapshotError> {
+            s.parse::<u64>()
+                .map_err(|_| r.err(format!("bad integer `{s}`")))
+        }
+        fn opt_anchor(
+            r: &SnapshotReader<'_>,
+            at: &str,
+            app: &str,
+        ) -> Result<Option<(SimTime, AppId)>, SnapshotError> {
+            if at == "-" {
+                return Ok(None);
+            }
+            Ok(Some((
+                SimTime::from_secs(num(r, at)?),
+                AppId(num(r, app)? as u16),
+            )))
+        }
+        let head = r.tagged("attributor")?;
+        let n_users = num(r, head.first().copied().unwrap_or(""))? as usize;
+        let mut users = HashMap::with_capacity(n_users);
+        for _ in 0..n_users {
+            let fields = r.tagged("u")?;
+            if fields.len() != 4 {
+                return Err(r.err("user line needs 4 fields"));
+            }
+            let user = UserId(num(r, fields[0])?);
+            let last_anchor = opt_anchor(r, fields[1], fields[2])?;
+            let n_queue = num(r, fields[3])? as usize;
+            let mut queue = VecDeque::with_capacity(n_queue);
+            for _ in 0..n_queue {
+                let q = r.tagged("q")?;
+                if q.len() != 5 {
+                    return Err(r.err("queue line needs 5 fields"));
+                }
+                let t = SimTime::from_secs(num(r, q[0])?);
+                let bytes = num(r, q[1])?;
+                let state = match q[2] {
+                    "R" => TxState::Ready {
+                        app: if q[3] == "-" {
+                            None
+                        } else {
+                            Some(AppId(num(r, q[3])? as u16))
+                        },
+                        first_party: q[4] == "1",
+                    },
+                    "W" => TxState::Waiting {
+                        past: opt_anchor(r, q[3], q[4])?,
+                    },
+                    other => return Err(r.err(format!("bad queue state `{other}`"))),
+                };
+                queue.push_back(QueuedTx { t, bytes, state });
+            }
+            users.insert(user, UserState { queue, last_anchor });
+        }
+        Ok(StreamingAttributor { users })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wearscope_appdb::{AppCatalog, Classification};
+    use wearscope_core::sessions::attribute_records;
+    use wearscope_core::StudyContext;
+    use wearscope_devicedb::DeviceDb;
+    use wearscope_geo::SectorDirectory;
+    use wearscope_simtime::{Calendar, ObservationWindow};
+    use wearscope_trace::{ProxyRecord, Scheme, TraceStore};
+
+    fn observe_record(
+        ctx: &StudyContext<'_>,
+        attrib: &mut StreamingAttributor,
+        r: &ProxyRecord,
+        out: &mut Vec<AttributedTx>,
+    ) {
+        if !ctx.is_wearable_record(r) {
+            return;
+        }
+        let (app, first_party) = match ctx.classifier.classify(&r.host) {
+            Some(Classification::FirstParty(a)) => (Some(a), true),
+            _ => (None, false),
+        };
+        attrib.observe(r.user, r.timestamp, app, first_party, r.bytes_total(), out);
+    }
+
+    fn wtx(db: &DeviceDb, user: u64, t: u64, host: &str) -> ProxyRecord {
+        ProxyRecord {
+            timestamp: SimTime::from_secs(t),
+            user: UserId(user),
+            imei: db.example_imei(db.wearable_tacs()[0], user as u32).as_u64(),
+            host: host.into(),
+            scheme: Scheme::Https,
+            bytes_down: 100,
+            bytes_up: 10,
+        }
+    }
+
+    /// Streaming attribution over an in-order stream reproduces the batch
+    /// result exactly, including emission usable for the final stable
+    /// sort: same multiset AND same within-(user,timestamp) order.
+    #[test]
+    fn matches_batch_attribution_on_in_order_stream() {
+        let db = DeviceDb::standard();
+        let catalog = AppCatalog::standard();
+        let sectors = SectorDirectory::new();
+        // A host mix with first-party anchors, third-party CDN hits, and
+        // unattributable noise, interleaved across 3 users.
+        let fp_host = "api.weather.com";
+        let tp_host = "cdn.telemetry.example";
+        let mut records = Vec::new();
+        for i in 0..240u64 {
+            let user = 1 + i % 3;
+            let host = match i % 5 {
+                0 | 3 => fp_host,
+                1 | 2 => tp_host,
+                _ => "unmatched.example",
+            };
+            records.push(wtx(&db, user, i * 37, host));
+        }
+        records.sort_by_key(|r| r.timestamp);
+        let store = TraceStore::from_records(records.clone(), vec![]);
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::new(14, 14, Calendar::PAPER),
+        );
+        let batch = attribute_records(&ctx, &records);
+
+        let mut attrib = StreamingAttributor::new();
+        let mut streamed = Vec::new();
+        for r in &records {
+            observe_record(&ctx, &mut attrib, r, &mut streamed);
+            // Exercise watermark-driven resolution along the way.
+            attrib.advance(
+                r.timestamp.saturating_sub(SimDuration::from_secs(300)),
+                &mut streamed,
+            );
+        }
+        attrib.flush(&mut streamed);
+        assert_eq!(attrib.pending(), 0);
+        streamed.sort_by_key(|t| (t.user, t.timestamp));
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn past_anchor_wins_ties_and_future_wins_strictly_closer() {
+        let app_a = AppId(1);
+        let app_b = AppId(2);
+        // Tie: past at t-30, future at t+30 → past.
+        assert_eq!(
+            resolve(
+                Some((SimTime::from_secs(70), app_a)),
+                Some((SimTime::from_secs(130), app_b)),
+                SimTime::from_secs(100)
+            ),
+            Some(app_a)
+        );
+        // Future strictly closer → future.
+        assert_eq!(
+            resolve(
+                Some((SimTime::from_secs(30), app_a)),
+                Some((SimTime::from_secs(120), app_b)),
+                SimTime::from_secs(100)
+            ),
+            Some(app_b)
+        );
+        // Both out of range → unattributed.
+        assert_eq!(
+            resolve(
+                Some((SimTime::from_secs(0), app_a)),
+                Some((SimTime::from_secs(200), app_b)),
+                SimTime::from_secs(100)
+            ),
+            None
+        );
+    }
+
+    /// A first-party transaction behind a waiting third-party one must not
+    /// overtake it in the emission order.
+    #[test]
+    fn emission_preserves_arrival_order_per_user() {
+        let mut attrib = StreamingAttributor::new();
+        let mut out = Vec::new();
+        let user = UserId(9);
+        // Third-party at t=100 (waits), first-party at t=100 (tie time):
+        // the anchor is not strictly later, so the third-party tx keeps
+        // waiting — and the first-party tx must queue behind it.
+        attrib.observe(user, SimTime::from_secs(100), None, false, 5, &mut out);
+        attrib.observe(
+            user,
+            SimTime::from_secs(100),
+            Some(AppId(3)),
+            true,
+            7,
+            &mut out,
+        );
+        assert!(out.is_empty(), "nothing may emit past a waiting tx");
+        assert_eq!(attrib.pending(), 2);
+        attrib.flush(&mut out);
+        assert_eq!(out.len(), 2);
+        // Arrival order preserved; the waiting tx resolved to the tie-time
+        // anchor (gap 0, past side).
+        assert_eq!(out[0].timestamp, SimTime::from_secs(100));
+        assert!(!out[0].first_party);
+        assert_eq!(out[0].app, Some(AppId(3)));
+        assert!(out[1].first_party);
+    }
+
+    /// Watermark resolution: `t + 60 < W` closes the future window.
+    #[test]
+    fn advance_resolves_only_past_the_gap() {
+        let mut attrib = StreamingAttributor::new();
+        let mut out = Vec::new();
+        let user = UserId(1);
+        attrib.observe(user, SimTime::from_secs(100), None, false, 1, &mut out);
+        // W = 160: 100 + 60 is not < 160 → still waiting (an anchor at
+        // exactly t=160 could still claim it with gap 60).
+        attrib.advance(SimTime::from_secs(160), &mut out);
+        assert_eq!(attrib.pending(), 1);
+        // W = 161: closed, resolves unattributed (no past anchor).
+        attrib.advance(SimTime::from_secs(161), &mut out);
+        assert_eq!(attrib.pending(), 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].app, None);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_mid_flight_state() {
+        let mut attrib = StreamingAttributor::new();
+        let mut out = Vec::new();
+        attrib.observe(
+            UserId(2),
+            SimTime::from_secs(50),
+            Some(AppId(4)),
+            true,
+            9,
+            &mut out,
+        );
+        attrib.observe(UserId(1), SimTime::from_secs(80), None, false, 3, &mut out);
+        attrib.observe(UserId(1), SimTime::from_secs(90), None, false, 4, &mut out);
+        let mut text = String::new();
+        attrib.snapshot(&mut text);
+        let mut reader = SnapshotReader::new(&text);
+        let restored = StreamingAttributor::restore(&mut reader).unwrap();
+        let mut text2 = String::new();
+        restored.snapshot(&mut text2);
+        assert_eq!(text, text2);
+        // Restored state must flush to the same emissions.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        attrib.flush(&mut a);
+        let mut restored = restored;
+        restored.flush(&mut b);
+        assert_eq!(a, b);
+    }
+}

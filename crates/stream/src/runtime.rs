@@ -1,0 +1,871 @@
+//! The streaming runtime: validation, windowing, watermarks, emission.
+//!
+//! [`StreamRuntime`] pulls items from an [`EventSource`] and maintains one
+//! [`WindowAggregates`] per open event-time window. The **low watermark**
+//! is `max_event_time − lateness`:
+//!
+//! * a record behind the watermark is quarantined as `OutOfOrder` (the
+//!   streaming analogue of the batch loader's high-water-mark check);
+//! * a record behind the max event time but at-or-ahead of the watermark
+//!   is **late-merged**: absorbed normally and counted;
+//! * a window finalizes once the watermark passes its end plus the ±60 s
+//!   attribution slack, so every third-party transaction inside it has
+//!   either found its future anchor or provably never will
+//!   ([`crate::attrib`]).
+//!
+//! Validation mirrors the batch quarantine pass, in the same precedence
+//! (`UnknownImei` → `Skewed` → `OutOfOrder` → `Duplicate`); the duplicate
+//! set is pruned below the watermark, which is exact for time-sorted logs
+//! (a true duplicate beyond the lateness horizon is already `OutOfOrder`).
+//!
+//! Windows are emitted strictly in index order; an index range with no
+//! records between two active windows still yields (all-zero) reports, so
+//! downstream consumers see a gapless timeline. When the open-window cap
+//! is hit, [`Backpressure::Block`] surfaces a typed error and
+//! [`Backpressure::DropOldest`] force-emits the oldest windows early,
+//! marking their reports `forced`.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::io;
+use std::path::Path;
+
+use wearscope_appdb::Classification;
+use wearscope_core::sessions::{AttributedTx, SESSION_GAP_SECS};
+use wearscope_core::snapshot::SnapshotError;
+use wearscope_core::StudyContext;
+use wearscope_devicedb::Imei;
+use wearscope_ingest::reason_for_codec;
+use wearscope_report::{QuarantineReason, StreamSummary, WindowReport};
+use wearscope_simtime::{SimDuration, SimTime};
+use wearscope_trace::{MmeRecord, ProxyRecord, TsvRecord};
+
+use crate::aggregates::WindowAggregates;
+use crate::attrib::StreamingAttributor;
+use crate::source::{EventSource, Polled, SourceItem, SourcePosition, StreamEvent};
+use crate::window::WindowSpec;
+
+/// What to do when the open-window cap is reached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Refuse the record with [`StreamError::Backpressure`] — the caller
+    /// decides whether to retry, widen the cap, or abort.
+    #[default]
+    Block,
+    /// Force-emit the oldest open windows early (reports marked `forced`).
+    DropOldest,
+}
+
+impl Backpressure {
+    /// Stable CLI/checkpoint label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backpressure::Block => "block",
+            Backpressure::DropOldest => "drop-oldest",
+        }
+    }
+
+    /// Parses a [`Backpressure::name`] label.
+    ///
+    /// # Errors
+    /// Fails on anything else.
+    pub fn parse(s: &str) -> Result<Backpressure, String> {
+        match s {
+            "block" => Ok(Backpressure::Block),
+            "drop-oldest" => Ok(Backpressure::DropOldest),
+            other => Err(format!(
+                "unknown backpressure policy `{other}` (expected `block` or `drop-oldest`)"
+            )),
+        }
+    }
+}
+
+/// Streaming-run configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Window geometry.
+    pub spec: WindowSpec,
+    /// Allowed lateness: how far behind the max event time a record may
+    /// arrive and still be merged.
+    pub lateness: SimDuration,
+    /// Open-window cap (sliding windows open `width/slide` per instant).
+    pub max_open_windows: usize,
+    /// Policy at the cap.
+    pub backpressure: Backpressure,
+    /// Clock-skew horizon (same semantics as the batch loader's).
+    pub max_timestamp: Option<SimTime>,
+    /// Keep each emitted window's partial aggregates in memory so the
+    /// whole stream can be merged and finished into batch aggregates
+    /// (the golden-equivalence path; off for plain report runs).
+    pub collect_aggregates: bool,
+}
+
+impl StreamConfig {
+    /// A configuration with the default cap (4096), blocking backpressure,
+    /// no skew horizon, and aggregate collection off.
+    pub fn new(spec: WindowSpec, lateness: SimDuration) -> StreamConfig {
+        StreamConfig {
+            spec,
+            lateness,
+            max_open_windows: 4096,
+            backpressure: Backpressure::Block,
+            max_timestamp: None,
+            collect_aggregates: false,
+        }
+    }
+}
+
+/// Error from the streaming runtime.
+#[derive(Debug)]
+pub enum StreamError {
+    /// I/O error from the source or checkpoint file.
+    Io(io::Error),
+    /// The open-window cap was hit under [`Backpressure::Block`].
+    Backpressure {
+        /// Open windows at the time.
+        open: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// A checkpoint file failed to parse.
+    Checkpoint {
+        /// 1-based line number within the checkpoint.
+        line: u64,
+        /// What went wrong.
+        message: String,
+    },
+    /// A checkpoint was written under a different configuration.
+    ConfigMismatch(String),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "stream I/O error: {e}"),
+            StreamError::Backpressure { open, limit } => write!(
+                f,
+                "open-window cap hit ({open} open, limit {limit}); raise --max-open or use --backpressure drop-oldest"
+            ),
+            StreamError::Checkpoint { line, message } => {
+                write!(f, "checkpoint line {line}: {message}")
+            }
+            StreamError::ConfigMismatch(m) => write!(f, "checkpoint config mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<io::Error> for StreamError {
+    fn from(e: io::Error) -> StreamError {
+        StreamError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for StreamError {
+    fn from(e: SnapshotError) -> StreamError {
+        StreamError::Checkpoint {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+/// Why [`StreamRuntime::pump`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PumpOutcome {
+    /// The source reported end-of-stream.
+    Finished,
+    /// The source has nothing right now but may grow (follow mode).
+    Pending,
+    /// The `stop_after` record budget was hit (simulated crash: **no**
+    /// checkpoint is written at the stop point).
+    Stopped,
+}
+
+/// Knobs for one [`StreamRuntime::pump`] call.
+#[derive(Clone, Debug, Default)]
+pub struct PumpOptions {
+    /// Write a checkpoint to this path every N processed items.
+    pub checkpoint: Option<(std::path::PathBuf, u64)>,
+    /// Hard-stop after this many processed items — a deterministic stand-in
+    /// for `kill -9` in the CI kill/resume drill. Nothing is flushed.
+    pub stop_after: Option<u64>,
+}
+
+/// A record the streaming dedup set can hold.
+pub(crate) trait StreamRecord: TsvRecord + Hash + Eq + Clone {
+    /// Event timestamp.
+    fn ts(&self) -> SimTime;
+}
+
+impl StreamRecord for ProxyRecord {
+    fn ts(&self) -> SimTime {
+        self.timestamp
+    }
+}
+
+impl StreamRecord for MmeRecord {
+    fn ts(&self) -> SimTime {
+        self.timestamp
+    }
+}
+
+/// Watermark-pruned duplicate detector for one log.
+///
+/// Exact for time-sorted logs: a duplicate whose original fell behind the
+/// watermark would itself be behind the watermark, hence already
+/// quarantined `OutOfOrder` before the duplicate check runs.
+#[derive(Clone, Debug)]
+pub(crate) struct Dedup<R: StreamRecord> {
+    seen: HashSet<R>,
+    by_time: BTreeMap<SimTime, Vec<R>>,
+}
+
+impl<R: StreamRecord> Default for Dedup<R> {
+    fn default() -> Dedup<R> {
+        Dedup {
+            seen: HashSet::new(),
+            by_time: BTreeMap::new(),
+        }
+    }
+}
+
+impl<R: StreamRecord> Dedup<R> {
+    /// `true` if the record is new (and now remembered).
+    fn insert(&mut self, r: &R) -> bool {
+        if !self.seen.insert(r.clone()) {
+            return false;
+        }
+        self.by_time.entry(r.ts()).or_default().push(r.clone());
+        true
+    }
+
+    /// Forgets records behind the watermark (they can no longer collide
+    /// with a keepable record).
+    fn prune(&mut self, watermark: SimTime) {
+        while let Some((&t, _)) = self.by_time.first_key_value() {
+            if t >= watermark {
+                break;
+            }
+            let (_, records) = self.by_time.pop_first().expect("checked non-empty");
+            for r in records {
+                self.seen.remove(&r);
+            }
+        }
+    }
+
+    /// Records currently remembered, in time order (checkpoint body).
+    pub(crate) fn records(&self) -> impl Iterator<Item = &R> {
+        self.by_time.values().flatten()
+    }
+
+    /// Rebuilds the set from checkpointed records.
+    pub(crate) fn from_records(records: Vec<R>) -> Dedup<R> {
+        let mut d = Dedup::default();
+        for r in &records {
+            d.insert(r);
+        }
+        d
+    }
+}
+
+/// Emission progress: windows strictly below `next_emit` are sealed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Progress {
+    /// Lowest window index the stream ever opened.
+    pub(crate) base: u64,
+    /// Next window index to emit.
+    pub(crate) next_emit: u64,
+}
+
+/// The incremental event-time streaming engine.
+pub struct StreamRuntime<'s> {
+    pub(crate) ctx: &'s StudyContext<'s>,
+    pub(crate) config: StreamConfig,
+    /// Largest kept event timestamp (`None` before the first kept record).
+    pub(crate) max_event: Option<SimTime>,
+    pub(crate) progress: Option<Progress>,
+    /// Open windows by index.
+    pub(crate) open: BTreeMap<u64, WindowAggregates>,
+    /// Emitted window reports, ascending index.
+    pub(crate) reports: Vec<WindowReport>,
+    /// Emitted windows' partials (only with `collect_aggregates`).
+    pub(crate) collected: Vec<(u64, WindowAggregates)>,
+    pub(crate) attributor: StreamingAttributor,
+    pub(crate) dedup_proxy: Dedup<ProxyRecord>,
+    pub(crate) dedup_mme: Dedup<MmeRecord>,
+    pub(crate) quality: wearscope_report::DataQuality,
+    /// Kept records that arrived behind the max event time.
+    pub(crate) late_merged: u64,
+    /// Windows emitted early by drop-oldest backpressure.
+    pub(crate) forced_emits: u64,
+    /// Source items processed (kept + quarantined + malformed).
+    pub(crate) records_processed: u64,
+}
+
+/// The attribution slack every window close waits out.
+fn slack() -> SimDuration {
+    SimDuration::from_secs(SESSION_GAP_SECS)
+}
+
+impl<'s> StreamRuntime<'s> {
+    /// A fresh runtime over `ctx` (typically built over an **empty** store
+    /// — records arrive through the source, and device classification
+    /// falls back to the live device DB).
+    pub fn new(ctx: &'s StudyContext<'s>, config: StreamConfig) -> StreamRuntime<'s> {
+        StreamRuntime {
+            ctx,
+            config,
+            max_event: None,
+            progress: None,
+            open: BTreeMap::new(),
+            reports: Vec::new(),
+            collected: Vec::new(),
+            attributor: StreamingAttributor::new(),
+            dedup_proxy: Dedup::default(),
+            dedup_mme: Dedup::default(),
+            quality: wearscope_report::DataQuality::default(),
+            late_merged: 0,
+            forced_emits: 0,
+            records_processed: 0,
+        }
+    }
+
+    /// The current low watermark.
+    pub fn watermark(&self) -> SimTime {
+        self.max_event
+            .map_or(SimTime::EPOCH, |m| m.saturating_sub(self.config.lateness))
+    }
+
+    /// Source items processed so far (kept + quarantined + malformed).
+    pub fn records_processed(&self) -> u64 {
+        self.records_processed
+    }
+
+    /// Currently open windows.
+    pub fn open_windows(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Window reports emitted so far, ascending index. Grows as the
+    /// watermark closes windows — a tailing caller can print
+    /// `reports()[seen..]` after each [`pump`] round to surface windows
+    /// live instead of waiting for the stream to end.
+    ///
+    /// [`pump`]: StreamRuntime::pump
+    pub fn reports(&self) -> &[WindowReport] {
+        &self.reports
+    }
+
+    /// The run's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Feeds one source item through validation, windowing and attribution.
+    ///
+    /// # Errors
+    /// [`StreamError::Backpressure`] under [`Backpressure::Block`] at the
+    /// open-window cap.
+    pub fn process_item(&mut self, item: SourceItem) -> Result<(), StreamError> {
+        self.records_processed += 1;
+        match item {
+            SourceItem::Malformed { error, .. } => {
+                self.quality.records_seen += 1;
+                self.quality.quarantined.note(reason_for_codec(&error));
+                Ok(())
+            }
+            SourceItem::Event(ev) => self.process_event(ev),
+        }
+    }
+
+    fn process_event(&mut self, ev: StreamEvent) -> Result<(), StreamError> {
+        self.quality.records_seen += 1;
+        let ts = ev.timestamp();
+        let imei = match &ev {
+            StreamEvent::Proxy(r) => r.imei,
+            StreamEvent::Mme(r) => r.imei,
+        };
+        // Same precedence as the batch content checks.
+        if Imei::from_u64(imei).is_err() {
+            self.quality.quarantined.note(QuarantineReason::UnknownImei);
+            return Ok(());
+        }
+        if self
+            .config
+            .max_timestamp
+            .is_some_and(|horizon| ts > horizon)
+        {
+            self.quality.quarantined.note(QuarantineReason::Skewed);
+            return Ok(());
+        }
+        if ts < self.watermark() {
+            self.quality.quarantined.note(QuarantineReason::OutOfOrder);
+            return Ok(());
+        }
+        // Window availability: after forced emission, a record whose every
+        // target window is sealed has nowhere to go.
+        let ids = self.config.spec.assign(ts);
+        let (lo, hi) = (*ids.start(), *ids.end());
+        match &mut self.progress {
+            None => {
+                self.progress = Some(Progress {
+                    base: lo,
+                    next_emit: lo,
+                });
+            }
+            Some(p) => {
+                // Nothing emitted yet: the timeline may still start lower
+                // (a within-lateness record earlier than the first one).
+                if lo < p.next_emit && p.next_emit == p.base {
+                    p.base = lo;
+                    p.next_emit = lo;
+                }
+            }
+        }
+        let next_emit = self.progress.expect("progress initialized").next_emit;
+        if hi < next_emit {
+            self.quality.quarantined.note(QuarantineReason::OutOfOrder);
+            return Ok(());
+        }
+        let fresh = match &ev {
+            StreamEvent::Proxy(r) => self.dedup_proxy.insert(r),
+            StreamEvent::Mme(r) => self.dedup_mme.insert(r),
+        };
+        if !fresh {
+            self.quality.quarantined.note(QuarantineReason::Duplicate);
+            return Ok(());
+        }
+        // Kept.
+        self.quality.records_kept += 1;
+        let late = self.max_event.is_some_and(|m| ts < m);
+        if late {
+            self.late_merged += 1;
+        }
+        for id in lo.max(next_emit)..=hi {
+            let ctx = self.ctx;
+            match &ev {
+                StreamEvent::Proxy(r) => self.ensure_window(id)?.absorb_proxy(ctx, r, late),
+                StreamEvent::Mme(r) => self.ensure_window(id)?.absorb_mme(ctx, r, late),
+            }
+        }
+        if let StreamEvent::Proxy(r) = &ev {
+            if self.ctx.is_wearable_record(r) {
+                let (app, first_party) = match self.ctx.classifier.classify(&r.host) {
+                    Some(Classification::FirstParty(a)) => (Some(a), true),
+                    _ => (None, false),
+                };
+                let mut emitted = Vec::new();
+                self.attributor.observe(
+                    r.user,
+                    r.timestamp,
+                    app,
+                    first_party,
+                    r.bytes_total(),
+                    &mut emitted,
+                );
+                self.route_attributed(&emitted);
+            }
+        }
+        if self.max_event.is_none_or(|m| m < ts) {
+            self.max_event = Some(ts);
+        }
+        self.advance_watermark();
+        Ok(())
+    }
+
+    /// Routes resolved transactions into their windows by event time.
+    /// Target windows are provably still open (a transaction resolves no
+    /// later than the close of any window containing it); windows sealed
+    /// early by forced emission are skipped.
+    fn route_attributed(&mut self, emitted: &[AttributedTx]) {
+        let next_emit = self.progress.map_or(0, |p| p.next_emit);
+        for tx in emitted {
+            for id in self.config.spec.assign(tx.timestamp) {
+                if id < next_emit {
+                    continue;
+                }
+                if let Some(w) = self.open.get_mut(&id) {
+                    w.absorb_attributed(self.ctx, tx);
+                }
+            }
+        }
+    }
+
+    /// Advances the watermark machinery after a kept record: prune the
+    /// duplicate sets, and — only when a window is actually due, so the
+    /// attributor sweep amortizes to once per slide — resolve waiting
+    /// transactions and emit every due window (including empty gaps).
+    fn advance_watermark(&mut self) {
+        let w = self.watermark();
+        self.dedup_proxy.prune(w);
+        self.dedup_mme.prune(w);
+        let Some(p) = self.progress else { return };
+        let spec = self.config.spec;
+        let due = move |index: u64| -> bool {
+            let (_, end) = spec.bounds(index);
+            end.saturating_add(slack()) <= w
+        };
+        if !due(p.next_emit) {
+            return;
+        }
+        // Resolve attribution up to the watermark *before* sealing windows:
+        // every transaction in a due window is past its future-anchor
+        // horizon (t + 60 < end + 60 <= W).
+        let mut emitted = Vec::new();
+        self.attributor.advance(w, &mut emitted);
+        self.route_attributed(&emitted);
+        while self.progress.is_some_and(|p| due(p.next_emit)) {
+            self.emit_next(false);
+        }
+    }
+
+    /// Emits window `next_emit` (an absent index emits an all-zero report)
+    /// and advances the cursor.
+    fn emit_next(&mut self, forced: bool) {
+        let p = self.progress.as_mut().expect("emission needs progress");
+        let index = p.next_emit;
+        p.next_emit += 1;
+        let agg = self
+            .open
+            .remove(&index)
+            .unwrap_or_else(WindowAggregates::identity);
+        let (start, end) = self.config.spec.bounds(index);
+        self.reports
+            .push(agg.report(index, start.as_secs(), end.as_secs(), forced));
+        if forced {
+            self.forced_emits += 1;
+        }
+        if self.config.collect_aggregates {
+            self.collected.push((index, agg));
+        }
+    }
+
+    /// An open window, creating it under the backpressure policy.
+    fn ensure_window(&mut self, id: u64) -> Result<&mut WindowAggregates, StreamError> {
+        if !self.open.contains_key(&id) && self.open.len() >= self.config.max_open_windows {
+            match self.config.backpressure {
+                Backpressure::Block => {
+                    return Err(StreamError::Backpressure {
+                        open: self.open.len(),
+                        limit: self.config.max_open_windows,
+                    });
+                }
+                Backpressure::DropOldest => {
+                    // Seal everything up to and including the oldest open
+                    // window; the early reports are marked `forced`.
+                    let oldest = *self.open.keys().next().expect("cap > 0 implies non-empty");
+                    while self.progress.is_some_and(|p| p.next_emit <= oldest) {
+                        self.emit_next(true);
+                    }
+                }
+            }
+        }
+        Ok(self
+            .open
+            .entry(id)
+            .or_insert_with(WindowAggregates::identity))
+    }
+
+    /// Pulls the source until it ends, stalls, or the stop budget is hit,
+    /// writing periodic checkpoints if configured.
+    ///
+    /// # Errors
+    /// Source I/O, checkpoint I/O, or backpressure under
+    /// [`Backpressure::Block`].
+    pub fn pump<S: EventSource>(
+        &mut self,
+        source: &mut S,
+        opts: &PumpOptions,
+    ) -> Result<PumpOutcome, StreamError> {
+        loop {
+            if opts
+                .stop_after
+                .is_some_and(|budget| self.records_processed >= budget)
+            {
+                return Ok(PumpOutcome::Stopped);
+            }
+            match source.poll()? {
+                Polled::Item(item) => {
+                    self.process_item(item)?;
+                    if let Some((path, every)) = &opts.checkpoint {
+                        if *every > 0 && self.records_processed.is_multiple_of(*every) {
+                            self.write_checkpoint(path, source.position())?;
+                        }
+                    }
+                }
+                Polled::Pending => return Ok(PumpOutcome::Pending),
+                Polled::End => return Ok(PumpOutcome::Finished),
+            }
+        }
+    }
+
+    /// Atomically writes a checkpoint (temp file + rename).
+    ///
+    /// # Errors
+    /// Checkpoint-file I/O.
+    pub fn write_checkpoint(
+        &self,
+        path: &Path,
+        position: Option<SourcePosition>,
+    ) -> Result<(), StreamError> {
+        crate::checkpoint::write(path, &crate::checkpoint::to_text(self, position))?;
+        Ok(())
+    }
+
+    /// End of stream: resolves all pending attribution and emits every
+    /// remaining window (trailing empty indices between open windows
+    /// included; nothing past the highest open one).
+    pub fn finish(&mut self) {
+        let mut emitted = Vec::new();
+        self.attributor.flush(&mut emitted);
+        self.route_attributed(&emitted);
+        while !self.open.is_empty() {
+            self.emit_next(false);
+        }
+    }
+
+    /// Consumes the runtime into its summary and (if collected) the
+    /// emitted windows' partial aggregates in index order.
+    pub fn into_results(self) -> (StreamSummary, Vec<(u64, WindowAggregates)>) {
+        let final_watermark_secs = self.max_event.map(|_| self.watermark().as_secs());
+        (
+            StreamSummary {
+                windows: self.reports,
+                quality: self.quality,
+                late_merged: self.late_merged,
+                forced_emits: self.forced_emits,
+                final_watermark_secs,
+            },
+            self.collected,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::ChannelSource;
+    use wearscope_appdb::AppCatalog;
+    use wearscope_devicedb::DeviceDb;
+    use wearscope_geo::SectorDirectory;
+    use wearscope_simtime::{Calendar, ObservationWindow};
+    use wearscope_trace::{Scheme, TraceStore, UserId};
+
+    struct Fixture {
+        store: TraceStore,
+        db: DeviceDb,
+        sectors: SectorDirectory,
+        catalog: AppCatalog,
+    }
+
+    impl Fixture {
+        fn new() -> Fixture {
+            Fixture {
+                store: TraceStore::new(),
+                db: DeviceDb::standard(),
+                sectors: SectorDirectory::new(),
+                catalog: AppCatalog::standard(),
+            }
+        }
+
+        fn ctx(&self) -> StudyContext<'_> {
+            StudyContext::new(
+                &self.store,
+                &self.db,
+                &self.sectors,
+                &self.catalog,
+                ObservationWindow::new(14, 14, Calendar::PAPER),
+            )
+        }
+
+        fn proxy(&self, user: u64, t: u64, host: &str) -> StreamEvent {
+            StreamEvent::Proxy(ProxyRecord {
+                timestamp: SimTime::from_secs(t),
+                user: UserId(user),
+                imei: self
+                    .db
+                    .example_imei(self.db.wearable_tacs()[0], user as u32)
+                    .as_u64(),
+                host: host.into(),
+                scheme: Scheme::Https,
+                bytes_down: 100,
+                bytes_up: 0,
+            })
+        }
+    }
+
+    fn hour_config(lateness: u64) -> StreamConfig {
+        StreamConfig::new(
+            WindowSpec::tumbling(SimDuration::from_hours(1)).unwrap(),
+            SimDuration::from_secs(lateness),
+        )
+    }
+
+    #[test]
+    fn windows_emit_in_order_with_zero_gaps() {
+        let fx = Fixture::new();
+        let ctx = fx.ctx();
+        let mut rt = StreamRuntime::new(&ctx, hour_config(0));
+        // Active window 0, silent window 1, active window 2.
+        for ev in [
+            fx.proxy(1, 100, "api.weather.com"),
+            fx.proxy(1, 7500, "api.weather.com"),
+        ] {
+            rt.process_item(SourceItem::Event(ev)).unwrap();
+        }
+        rt.finish();
+        let (summary, _) = rt.into_results();
+        assert_eq!(summary.windows.len(), 3);
+        assert_eq!(summary.windows[0].proxy_records, 1);
+        assert_eq!(summary.windows[1], {
+            let mut w = WindowReport {
+                index: 1,
+                start_secs: 3600,
+                end_secs: 7200,
+                ..WindowReport::default()
+            };
+            w.forced = false;
+            w
+        });
+        assert_eq!(summary.windows[2].proxy_records, 1);
+        assert_eq!(summary.quality.records_kept, 2);
+    }
+
+    #[test]
+    fn watermark_emission_happens_before_end_of_stream() {
+        let fx = Fixture::new();
+        let ctx = fx.ctx();
+        let mut rt = StreamRuntime::new(&ctx, hour_config(0));
+        rt.process_item(SourceItem::Event(fx.proxy(1, 100, "api.weather.com")))
+            .unwrap();
+        // Watermark 3659: window 0 (end 3600) not yet due (3600+60 > 3659).
+        rt.process_item(SourceItem::Event(fx.proxy(1, 3659, "api.weather.com")))
+            .unwrap();
+        assert_eq!(rt.reports.len(), 0);
+        // Watermark 3660: due.
+        rt.process_item(SourceItem::Event(fx.proxy(1, 3660, "api.weather.com")))
+            .unwrap();
+        assert_eq!(rt.reports.len(), 1);
+        assert_eq!(rt.reports[0].proxy_records, 1);
+    }
+
+    #[test]
+    fn late_records_merge_and_stale_records_quarantine() {
+        let fx = Fixture::new();
+        let ctx = fx.ctx();
+        let mut rt = StreamRuntime::new(&ctx, hour_config(600));
+        for t in [1000u64, 2000, 1500, 1399] {
+            rt.process_item(SourceItem::Event(fx.proxy(1, t, "api.weather.com")))
+                .unwrap();
+        }
+        // 1500 < max_event 2000 → late-merged; 1399 < watermark 1400 → out
+        // of order.
+        assert_eq!(rt.late_merged, 1);
+        assert_eq!(rt.quality.quarantined.get(QuarantineReason::OutOfOrder), 1);
+        assert_eq!(rt.quality.records_kept, 3);
+    }
+
+    #[test]
+    fn duplicates_are_caught_within_the_lateness_horizon() {
+        let fx = Fixture::new();
+        let ctx = fx.ctx();
+        let mut rt = StreamRuntime::new(&ctx, hour_config(600));
+        let ev = fx.proxy(1, 1000, "api.weather.com");
+        rt.process_item(SourceItem::Event(ev.clone())).unwrap();
+        rt.process_item(SourceItem::Event(ev)).unwrap();
+        assert_eq!(rt.quality.quarantined.get(QuarantineReason::Duplicate), 1);
+        assert_eq!(rt.quality.records_kept, 1);
+    }
+
+    #[test]
+    fn block_backpressure_errors_and_drop_oldest_forces() {
+        let fx = Fixture::new();
+        let ctx = fx.ctx();
+        let mut config = hour_config(0);
+        config.max_open_windows = 2;
+        // Three windows forced open at once: lateness keeps none closeable.
+        config.lateness = SimDuration::from_hours(10);
+        let mut rt = StreamRuntime::new(&ctx, config);
+        rt.process_item(SourceItem::Event(fx.proxy(1, 100, "api.weather.com")))
+            .unwrap();
+        rt.process_item(SourceItem::Event(fx.proxy(1, 3700, "api.weather.com")))
+            .unwrap();
+        let err = rt
+            .process_item(SourceItem::Event(fx.proxy(1, 7300, "api.weather.com")))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::Backpressure { open: 2, limit: 2 }
+        ));
+
+        config.backpressure = Backpressure::DropOldest;
+        let mut rt = StreamRuntime::new(&ctx, config);
+        for t in [100, 3700, 7300] {
+            rt.process_item(SourceItem::Event(fx.proxy(1, t, "api.weather.com")))
+                .unwrap();
+        }
+        assert_eq!(rt.forced_emits, 1);
+        assert_eq!(rt.reports.len(), 1);
+        assert!(rt.reports[0].forced);
+        // A record for the sealed window now has nowhere to go.
+        rt.process_item(SourceItem::Event(fx.proxy(1, 200, "api.weather.com")))
+            .unwrap();
+        assert_eq!(rt.quality.quarantined.get(QuarantineReason::OutOfOrder), 1);
+        rt.finish();
+        let (summary, _) = rt.into_results();
+        assert_eq!(summary.forced_emits, 1);
+        assert_eq!(summary.windows.len(), 3);
+    }
+
+    #[test]
+    fn pump_channel_source_to_completion() {
+        let fx = Fixture::new();
+        let ctx = fx.ctx();
+        let (tx, mut src) = ChannelSource::pair();
+        let mut rt = StreamRuntime::new(&ctx, hour_config(0));
+        for t in [10, 20, 3900] {
+            let StreamEvent::Proxy(r) = fx.proxy(1, t, "api.weather.com") else {
+                unreachable!()
+            };
+            tx.send(StreamEvent::Proxy(r)).unwrap();
+        }
+        assert_eq!(
+            rt.pump(&mut src, &PumpOptions::default()).unwrap(),
+            PumpOutcome::Pending
+        );
+        drop(tx);
+        assert_eq!(
+            rt.pump(&mut src, &PumpOptions::default()).unwrap(),
+            PumpOutcome::Finished
+        );
+        assert_eq!(rt.records_processed(), 3);
+        rt.finish();
+        let (summary, _) = rt.into_results();
+        assert_eq!(summary.windows.len(), 2);
+        assert_eq!(summary.final_watermark_secs, Some(3900));
+    }
+
+    #[test]
+    fn stop_after_is_a_hard_stop() {
+        let fx = Fixture::new();
+        let ctx = fx.ctx();
+        let (tx, mut src) = ChannelSource::pair();
+        for t in [10, 20, 30, 40] {
+            let StreamEvent::Proxy(r) = fx.proxy(1, t, "api.weather.com") else {
+                unreachable!()
+            };
+            tx.send(StreamEvent::Proxy(r)).unwrap();
+        }
+        drop(tx);
+        let mut rt = StreamRuntime::new(&ctx, hour_config(0));
+        let opts = PumpOptions {
+            stop_after: Some(2),
+            ..PumpOptions::default()
+        };
+        assert_eq!(rt.pump(&mut src, &opts).unwrap(), PumpOutcome::Stopped);
+        assert_eq!(rt.records_processed(), 2);
+    }
+}

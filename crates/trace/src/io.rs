@@ -4,12 +4,31 @@
 //! The writer buffers into a [`bytes::BytesMut`] and flushes in large chunks;
 //! the reader yields records one at a time without materializing the file.
 
-use std::io::{self, BufRead, Write};
+use std::fs::File;
+use std::io::{self, BufRead, Read, Seek, SeekFrom, Write};
 use std::marker::PhantomData;
+use std::path::Path;
 
 use bytes::BytesMut;
 
 use crate::codec::{CodecError, TsvRecord};
+
+/// Decodes one raw log line (trailing `\n`/`\r` included) into a record:
+/// `None` for a blank line, `Some(Err(..))` for a malformed one.
+///
+/// This is **the** line decoder: the batch shard readers ([`LogReader`],
+/// backing [`crate::read_tsv_shard`]) and the streaming tail reader
+/// ([`TailReader`]) both route through it, so the batch and streaming
+/// paths parse byte-for-byte identically — the invariant the streaming
+/// engine's batch-equivalence test rests on.
+pub fn decode_log_line<R: TsvRecord>(raw: &str) -> Option<Result<R, CodecError>> {
+    let line = raw.trim_end_matches(['\n', '\r']);
+    if line.is_empty() {
+        None
+    } else {
+        Some(R::from_line(line))
+    }
+}
 
 /// Buffered line-oriented writer for any [`TsvRecord`].
 ///
@@ -180,17 +199,195 @@ impl<S: BufRead, R: TsvRecord> Iterator for LogReader<S, R> {
                 Ok(0) => return None,
                 Ok(_) => {
                     self.line_no += 1;
-                    let line = self.buf.trim_end_matches(['\n', '\r']);
-                    if line.is_empty() {
-                        continue; // tolerate blank lines
+                    match decode_log_line::<R>(&self.buf) {
+                        None => continue, // tolerate blank lines
+                        Some(item) => {
+                            return Some(item.map_err(|error| ReadError::Codec {
+                                line: self.line_no,
+                                error,
+                            }));
+                        }
                     }
-                    return Some(R::from_line(line).map_err(|error| ReadError::Codec {
-                        line: self.line_no,
-                        error,
-                    }));
                 }
                 Err(e) => return Some(Err(ReadError::Io(e))),
             }
+        }
+    }
+}
+
+/// One item yielded by [`TailReader::next_item`].
+#[derive(Debug)]
+pub enum TailItem<R> {
+    /// A well-formed record.
+    Record(R),
+    /// A malformed line, with its 1-based line number.
+    Malformed {
+        /// 1-based line number of the bad line.
+        line: u64,
+        /// The decode failure.
+        error: CodecError,
+    },
+    /// No complete line is available yet, but the log may still grow
+    /// (follow mode only). Poll again later.
+    Pending,
+    /// End of the log (never yielded in follow mode).
+    End,
+}
+
+/// Incremental reader over a possibly-growing log file.
+///
+/// Unlike [`LogReader`], a `TailReader` tracks a *committed byte offset*:
+/// after each yielded item, [`TailReader::offset`] points at the first byte
+/// of the next unconsumed line, and [`TailReader::resume`] can reopen the
+/// log at exactly that position. That pair is what makes streaming
+/// checkpoint/resume exact — a resumed reader re-reads nothing and skips
+/// nothing.
+///
+/// In follow mode (`follow = true`), hitting end-of-file yields
+/// [`TailItem::Pending`] instead of [`TailItem::End`] and a trailing
+/// unterminated line is held back until its `\n` arrives (the writer may
+/// still be mid-line). In non-follow mode a trailing unterminated line is
+/// decoded as a final (possibly truncated) record, matching [`LogReader`].
+#[derive(Debug)]
+pub struct TailReader<R: TsvRecord> {
+    file: File,
+    /// Bytes read from the file but not yet consumed as complete lines.
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted once it grows large).
+    start: usize,
+    /// Scan resume point within `buf` (avoids rescanning on refills).
+    scanned: usize,
+    /// Byte offset in the file of `buf[start]` — the committed position.
+    offset: u64,
+    line_no: u64,
+    follow: bool,
+    _marker: PhantomData<fn() -> R>,
+}
+
+impl<R: TsvRecord> TailReader<R> {
+    /// Opens a log from the beginning.
+    ///
+    /// # Errors
+    /// Propagates the open failure.
+    pub fn open(path: &Path, follow: bool) -> io::Result<TailReader<R>> {
+        TailReader::resume(path, 0, 0, follow)
+    }
+
+    /// Reopens a log at a committed position previously reported by
+    /// [`TailReader::offset`] / [`TailReader::line_no`].
+    ///
+    /// # Errors
+    /// Fails if the file cannot be opened or is shorter than `offset`
+    /// (the checkpoint points beyond the log — corruption or the wrong
+    /// world).
+    pub fn resume(
+        path: &Path,
+        offset: u64,
+        line_no: u64,
+        follow: bool,
+    ) -> io::Result<TailReader<R>> {
+        let mut file = File::open(path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        if offset > len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "resume offset {offset} beyond end of {} ({len} bytes)",
+                    path.display()
+                ),
+            ));
+        }
+        file.seek(SeekFrom::Start(offset))?;
+        Ok(TailReader {
+            file,
+            buf: Vec::with_capacity(64 * 1024),
+            start: 0,
+            scanned: 0,
+            offset,
+            line_no,
+            follow,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Committed byte offset: the first byte not yet consumed as a line.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Lines consumed so far (blank lines included).
+    pub fn line_no(&self) -> u64 {
+        self.line_no
+    }
+
+    /// Leaves follow mode: the next end-of-file yields [`TailItem::End`]
+    /// (after decoding any trailing unterminated line).
+    pub fn finish(&mut self) {
+        self.follow = false;
+    }
+
+    /// Consumes `buf[start..end]` as one raw line and decodes it.
+    /// Returns `None` for a blank line (caller keeps scanning).
+    fn consume(&mut self, end: usize) -> io::Result<Option<TailItem<R>>> {
+        let raw = std::str::from_utf8(&self.buf[self.start..end]).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stream did not contain valid UTF-8",
+            )
+        })?;
+        let item = decode_log_line::<R>(raw);
+        self.offset += (end - self.start) as u64;
+        self.line_no += 1;
+        self.start = end;
+        self.scanned = end;
+        // Compact the consumed prefix once it dominates the buffer.
+        if self.start > 32 * 1024 {
+            self.buf.drain(..self.start);
+            self.scanned -= self.start;
+            self.start = 0;
+        }
+        Ok(match item {
+            None => None,
+            Some(Ok(r)) => Some(TailItem::Record(r)),
+            Some(Err(error)) => Some(TailItem::Malformed {
+                line: self.line_no,
+                error,
+            }),
+        })
+    }
+
+    /// Yields the next item. See [`TailItem`] for the follow-mode contract.
+    ///
+    /// # Errors
+    /// Propagates I/O errors (including invalid UTF-8, mirroring
+    /// [`LogReader`]'s `read_line` behavior).
+    pub fn next_item(&mut self) -> io::Result<TailItem<R>> {
+        loop {
+            if let Some(nl) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let end = self.scanned + nl + 1;
+                if let Some(item) = self.consume(end)? {
+                    return Ok(item);
+                }
+                continue;
+            }
+            self.scanned = self.buf.len();
+            let mut chunk = [0u8; 64 * 1024];
+            let n = self.file.read(&mut chunk)?;
+            if n == 0 {
+                if self.follow {
+                    return Ok(TailItem::Pending);
+                }
+                if self.start < self.buf.len() {
+                    // Final unterminated line.
+                    let end = self.buf.len();
+                    if let Some(item) = self.consume(end)? {
+                        return Ok(item);
+                    }
+                    continue;
+                }
+                return Ok(TailItem::End);
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
         }
     }
 }
@@ -272,5 +469,139 @@ mod tests {
         w.write(&recs(1)[0]).unwrap();
         let sink = w.into_inner().unwrap();
         assert!(sink.ends_with(b"\n"));
+    }
+
+    fn temp_log(name: &str, text: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("wearscope-io-{}-{name}", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    #[test]
+    fn tail_reader_matches_log_reader() {
+        let records = recs(500);
+        let mut text = String::new();
+        for r in &records {
+            text.push_str(&r.to_line());
+            text.push('\n');
+        }
+        text.insert(0, '\n'); // leading blank line
+        let path = temp_log("match", &text);
+        let mut tail: TailReader<MmeRecord> = TailReader::open(&path, false).unwrap();
+        let mut got = Vec::new();
+        loop {
+            match tail.next_item().unwrap() {
+                TailItem::Record(r) => got.push(r),
+                TailItem::Malformed { line, error } => panic!("line {line}: {error}"),
+                TailItem::Pending => panic!("pending in non-follow mode"),
+                TailItem::End => break,
+            }
+        }
+        assert_eq!(got, records);
+        assert_eq!(tail.offset(), text.len() as u64);
+        assert_eq!(tail.line_no(), 501); // 500 records + 1 blank
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tail_reader_resume_is_exact() {
+        let records = recs(100);
+        let mut text = String::new();
+        for r in &records {
+            text.push_str(&r.to_line());
+            text.push('\n');
+        }
+        let path = temp_log("resume", &text);
+        let mut tail: TailReader<MmeRecord> = TailReader::open(&path, false).unwrap();
+        let mut first = Vec::new();
+        for _ in 0..40 {
+            match tail.next_item().unwrap() {
+                TailItem::Record(r) => first.push(r),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let (off, line) = (tail.offset(), tail.line_no());
+        drop(tail);
+        let mut resumed: TailReader<MmeRecord> =
+            TailReader::resume(&path, off, line, false).unwrap();
+        loop {
+            match resumed.next_item().unwrap() {
+                TailItem::Record(r) => first.push(r),
+                TailItem::End => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(first, records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tail_reader_resume_rejects_offset_beyond_eof() {
+        let path = temp_log("beyond", "short\n");
+        let err = TailReader::<MmeRecord>::resume(&path, 999, 0, false).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tail_reader_follow_holds_back_partial_line() {
+        let full = recs(2);
+        let line0 = full[0].to_line();
+        let line1 = full[1].to_line();
+        let half = &line1[..line1.len() / 2];
+        let path = temp_log("follow", &format!("{line0}\n{half}"));
+        let mut tail: TailReader<MmeRecord> = TailReader::open(&path, true).unwrap();
+        match tail.next_item().unwrap() {
+            TailItem::Record(r) => assert_eq!(r, full[0]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The unterminated tail must not be decoded while following.
+        assert!(matches!(tail.next_item().unwrap(), TailItem::Pending));
+        assert_eq!(tail.offset(), line0.len() as u64 + 1);
+        // Writer completes the line; the reader picks it up.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            writeln!(f, "{}", &line1[line1.len() / 2..]).unwrap();
+        }
+        match tail.next_item().unwrap() {
+            TailItem::Record(r) => assert_eq!(r, full[1]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // finish() converts EOF into End, decoding nothing extra.
+        tail.finish();
+        assert!(matches!(tail.next_item().unwrap(), TailItem::End));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tail_reader_decodes_unterminated_tail_when_not_following() {
+        let rec = &recs(1)[0];
+        let path = temp_log("tail", rec.to_line().as_str()); // no trailing \n
+        let mut tail: TailReader<MmeRecord> = TailReader::open(&path, false).unwrap();
+        match tail.next_item().unwrap() {
+            TailItem::Record(r) => assert_eq!(&r, rec),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(tail.next_item().unwrap(), TailItem::End));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tail_reader_reports_malformed_line_numbers() {
+        let good = recs(1)[0].to_line();
+        let path = temp_log("bad", &format!("{good}\nnot a record\n{good}\n"));
+        let mut tail: TailReader<MmeRecord> = TailReader::open(&path, false).unwrap();
+        assert!(matches!(tail.next_item().unwrap(), TailItem::Record(_)));
+        match tail.next_item().unwrap() {
+            TailItem::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(tail.next_item().unwrap(), TailItem::Record(_)));
+        assert!(matches!(tail.next_item().unwrap(), TailItem::End));
+        std::fs::remove_file(&path).unwrap();
     }
 }

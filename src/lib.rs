@@ -39,6 +39,8 @@
 //! | [`synthpop`] | calibrated population & behaviour generators |
 //! | [`core`] | the analysis pipeline (the paper's contribution) |
 //! | [`ingest`] | sharded parallel ingestion & mergeable-aggregate engine |
+//! | [`stream`] | incremental event-time windowing, watermarks, checkpoint/resume |
+//! | [`faults`] | deterministic log-fault injection for resilience drills |
 //! | [`report`] | tables, CSV export, paper-vs-measured comparison |
 
 #![warn(missing_docs)]
@@ -53,6 +55,7 @@ pub use wearscope_ingest as ingest;
 pub use wearscope_mobilenet as mobilenet;
 pub use wearscope_report as report;
 pub use wearscope_simtime as simtime;
+pub use wearscope_stream as stream;
 pub use wearscope_synthpop as synthpop;
 pub use wearscope_trace as trace;
 
@@ -66,6 +69,7 @@ pub mod prelude {
     pub use wearscope_ingest::IngestEngine;
     pub use wearscope_mobilenet::{MobileNetwork, NetworkEvent};
     pub use wearscope_simtime::{ObservationWindow, SimDuration, SimTime, TimeRange};
+    pub use wearscope_stream::{StreamConfig, StreamRuntime, WindowSpec, WorldSource};
     pub use wearscope_synthpop::{generate, Calibration, GeneratedWorld, ScenarioConfig};
     pub use wearscope_trace::{MmeRecord, ProxyRecord, TraceStore, UserId};
 }

@@ -21,6 +21,10 @@ use wearscope::faults::{corrupt_world, FaultSpec};
 use wearscope::ingest::{load_store_resilient, IngestEngine, IngestOptions};
 use wearscope::prelude::*;
 use wearscope::report::{figures::FigureCsvExporter, render_full_report, ExperimentReport};
+use wearscope::stream::{
+    checkpoint, Backpressure, EventSource, PumpOptions, PumpOutcome, StreamConfig, StreamRuntime,
+    WindowSpec, WorldSource,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +33,7 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("corrupt") => cmd_corrupt(&args[1..]),
         Some("experiments") => cmd_experiments(&args[1..]),
+        Some("stream") => cmd_stream(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -52,12 +57,17 @@ USAGE:
     wearscope analyze    --world DIR [--full] [--csv DIR] [--workers N] [--max-error-rate R]
     wearscope corrupt    --world DIR --faults SPEC [--seed N]
     wearscope experiments [--seed N] [--scale quick|compact|paper]
+    wearscope stream     --world DIR [--window D] [--slide D] [--lateness D]
+                         [--checkpoint DIR] [--checkpoint-every N] [--resume]
+                         [--max-open N] [--backpressure block|drop-oldest]
+                         [--stop-after N] [--report FILE] [--follow]
 
 COMMANDS:
     generate     simulate a world and persist logs + cell plan + summaries
     analyze      run the full analysis pipeline over a saved world
     corrupt      deterministically inject log faults into a saved world
     experiments  generate in memory and print the paper-vs-measured table
+    stream       incrementally window a saved world's logs by event time
 
 OPTIONS:
     --seed N     master seed (default 7); the world (or the corruption) is a
@@ -78,7 +88,54 @@ OPTIONS:
                  truncate/bitflip/garbage/dup/reorder/crlf/badimei/skew,
                  each with an optional per-line `=rate` (default 0.001),
                  e.g. `--faults bitflip=0.01,dup,skew=0.005`
+    --window D   stream window width (default 1h); durations accept
+                 s/m/h/d suffixes, a bare number means seconds
+    --slide D    window slide for sliding windows (default: tumbling)
+    --lateness D how far behind the max event time a record may arrive and
+                 still be merged (default 5m); staler records quarantine
+    --checkpoint DIR
+                 write DIR/stream.ckpt periodically so a killed run can
+                 `--resume` and reproduce the uninterrupted reports exactly
+    --checkpoint-every N
+                 checkpoint every N source records (default 5000)
+    --resume     continue from the last checkpoint (requires --checkpoint,
+                 and the same windowing flags as the original run)
+    --max-open N open-window cap for stream (default 4096)
+    --backpressure block|drop-oldest
+                 at the cap: refuse the record, or force the oldest window
+                 out early (its report is marked [forced])
+    --stop-after N
+                 hard-stop stream after N source records, without writing
+                 a checkpoint at the stop point (CI kill/resume drill)
+    --report FILE
+                 also write one TSV line per window to FILE
+    --follow     keep tailing logs that are still growing; window reports
+                 print live as the watermark closes them. Pick a --lateness
+                 that also covers how far one log may lag behind the other
 ";
+
+/// Rejects flags a subcommand doesn't know (naming the offender) and bare
+/// positional arguments. `values` take a value; `switches` don't.
+fn reject_unknown(args: &[String], values: &[&str], switches: &[&str]) -> Result<(), String> {
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if switches.contains(&a.as_str()) {
+            continue;
+        }
+        if values.contains(&a.as_str()) {
+            // Consume the value; a missing one is reported by `flag()`.
+            if it.peek().is_some_and(|v| !v.starts_with("--")) {
+                it.next();
+            }
+            continue;
+        }
+        if a.starts_with("--") {
+            return Err(format!("unknown flag `{a}`\n\n{USAGE}"));
+        }
+        return Err(format!("unexpected argument `{a}`\n\n{USAGE}"));
+    }
+    Ok(())
+}
 
 /// Parses `--flag value` pairs.
 fn flag(args: &[String], name: &str) -> Result<Option<String>, String> {
@@ -114,7 +171,23 @@ fn scale_config(args: &[String]) -> Result<ScenarioConfig, String> {
     }
 }
 
+/// Parses a duration like `90s`, `15m`, `1h`, `2d`, or bare seconds.
+fn parse_duration(s: &str) -> Result<SimDuration, String> {
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b's') => (&s[..s.len() - 1], 1),
+        Some(b'm') => (&s[..s.len() - 1], 60),
+        Some(b'h') => (&s[..s.len() - 1], 3600),
+        Some(b'd') => (&s[..s.len() - 1], 86_400),
+        _ => (s, 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad duration `{s}` (expected e.g. 90s, 15m, 1h, 2d)"))?;
+    Ok(SimDuration::from_secs(n * mult))
+}
+
 fn cmd_generate(args: &[String]) -> Result<(), String> {
+    reject_unknown(args, &["--out", "--seed", "--scale"], &[])?;
     let out = PathBuf::from(flag(args, "--out")?.ok_or("generate requires --out DIR")?);
     let config = scale_config(args)?;
     eprintln!(
@@ -137,9 +210,17 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    reject_unknown(
+        args,
+        &["--world", "--workers", "--max-error-rate", "--csv"],
+        &["--full"],
+    )?;
     let dir = PathBuf::from(flag(args, "--world")?.ok_or("analyze requires --world DIR")?);
     let workers: usize = match flag(args, "--workers")? {
-        Some(s) => s.parse().map_err(|_| format!("bad worker count `{s}`"))?,
+        Some(s) => match s.parse() {
+            Ok(0) | Err(_) => return Err(format!("bad worker count `{s}` (need an integer >= 1)")),
+            Ok(n) => n,
+        },
         None => wearscope::ingest::default_workers(),
     };
     let mut opts = IngestOptions::for_world(&dir);
@@ -215,6 +296,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_corrupt(args: &[String]) -> Result<(), String> {
+    reject_unknown(args, &["--world", "--faults", "--seed"], &[])?;
     let dir = PathBuf::from(flag(args, "--world")?.ok_or("corrupt requires --world DIR")?);
     let seed: u64 = flag(args, "--seed")?
         .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
@@ -231,6 +313,7 @@ fn cmd_corrupt(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_experiments(args: &[String]) -> Result<(), String> {
+    reject_unknown(args, &["--seed", "--scale"], &[])?;
     let config = scale_config(args)?;
     eprintln!(
         "generating {} subscribers (seed {}, {} days) ...",
@@ -252,6 +335,156 @@ fn cmd_experiments(args: &[String]) -> Result<(), String> {
         config.window.summary().num_days(),
     );
     print!("{}", report.render());
+    Ok(())
+}
+
+fn cmd_stream(args: &[String]) -> Result<(), String> {
+    reject_unknown(
+        args,
+        &[
+            "--world",
+            "--window",
+            "--slide",
+            "--lateness",
+            "--checkpoint",
+            "--checkpoint-every",
+            "--stop-after",
+            "--max-open",
+            "--backpressure",
+            "--report",
+        ],
+        &["--resume", "--follow"],
+    )?;
+    let dir = PathBuf::from(flag(args, "--world")?.ok_or("stream requires --world DIR")?);
+    let width = parse_duration(&flag(args, "--window")?.unwrap_or_else(|| "1h".into()))?;
+    let spec = match flag(args, "--slide")? {
+        Some(s) => WindowSpec::sliding(width, parse_duration(&s)?),
+        None => WindowSpec::tumbling(width),
+    }?;
+    let lateness = parse_duration(&flag(args, "--lateness")?.unwrap_or_else(|| "5m".into()))?;
+    let mut config = StreamConfig::new(spec, lateness);
+    if let Some(s) = flag(args, "--max-open")? {
+        config.max_open_windows = match s.parse() {
+            Ok(0) | Err(_) => return Err(format!("bad --max-open `{s}` (need an integer >= 1)")),
+            Ok(n) => n,
+        };
+    }
+    if let Some(s) = flag(args, "--backpressure")? {
+        config.backpressure = Backpressure::parse(&s)?;
+    }
+    // Same clock-skew horizon as the batch loader derives for this world.
+    config.max_timestamp = IngestOptions::for_world(&dir).max_timestamp;
+
+    let follow = args.iter().any(|a| a == "--follow");
+    let resume = args.iter().any(|a| a == "--resume");
+    let ckpt_path = flag(args, "--checkpoint")?.map(|d| PathBuf::from(d).join("stream.ckpt"));
+    let every: u64 = match flag(args, "--checkpoint-every")? {
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("bad --checkpoint-every `{s}`"))?,
+        None => 5000,
+    };
+    let stop_after: Option<u64> = flag(args, "--stop-after")?
+        .map(|s| s.parse().map_err(|_| format!("bad --stop-after `{s}`")))
+        .transpose()?;
+    if resume && ckpt_path.is_none() {
+        return Err("--resume requires --checkpoint DIR".into());
+    }
+    if let Some(path) = &ckpt_path {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+    }
+
+    // The records arrive through the source; the context only carries the
+    // world's geometry and observation window (device classification falls
+    // back to the live device DB on the empty store).
+    let saved = GeneratedWorld::load_with_store(&dir, TraceStore::new())
+        .map_err(|e| format!("loading {}: {e}", dir.display()))?;
+    let db = DeviceDb::standard();
+    let catalog = AppCatalog::standard();
+    let ctx = StudyContext::new(&saved.store, &db, &saved.sectors, &catalog, saved.window);
+
+    let (mut rt, start_pos) = if resume {
+        let path = ckpt_path.as_ref().expect("checked above");
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading checkpoint {}: {e}", path.display()))?;
+        checkpoint::from_text(&ctx, config, &text).map_err(|e| e.to_string())?
+    } else {
+        (StreamRuntime::new(&ctx, config), None)
+    };
+    let mut source = match &start_pos {
+        Some(pos) => WorldSource::resume(&dir, pos, follow),
+        None => WorldSource::open(&dir, follow),
+    }
+    .map_err(|e| format!("opening logs in {}: {e}", dir.display()))?
+    .with_horizon(config.max_timestamp);
+
+    let pump_opts = PumpOptions {
+        checkpoint: ckpt_path.clone().map(|p| (p, every)),
+        stop_after,
+    };
+    // In follow mode the run only ends when the process is killed, so
+    // windows are printed live as the watermark closes them; a bounded run
+    // prints them all at once at the end instead.
+    let mut live_printed = 0usize;
+    loop {
+        let outcome = rt
+            .pump(&mut source, &pump_opts)
+            .map_err(|e| e.to_string())?;
+        if follow {
+            for report in &rt.reports()[live_printed..] {
+                println!("{}", report.render_line());
+            }
+            live_printed = rt.reports().len();
+        }
+        match outcome {
+            PumpOutcome::Finished => break,
+            PumpOutcome::Pending => {
+                if follow {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                } else {
+                    // A log stalled mid-line without follow mode: drain to EOF.
+                    source.finish();
+                }
+            }
+            PumpOutcome::Stopped => {
+                eprintln!(
+                    "stream:  stopped after {} records (no checkpoint at the stop point)",
+                    rt.records_processed()
+                );
+                return Ok(());
+            }
+        }
+    }
+    rt.finish();
+    if let Some(path) = &ckpt_path {
+        rt.write_checkpoint(path, source.position())
+            .map_err(|e| e.to_string())?;
+    }
+    let (summary, _) = rt.into_results();
+    eprintln!("stream:  {}", summary.summary_line());
+    if follow {
+        // The windows up to here are already on stdout.
+        for w in &summary.windows[live_printed..] {
+            println!("{}", w.render_line());
+        }
+    } else {
+        print!("{}", summary.render());
+    }
+    if let Some(report_path) = flag(args, "--report")? {
+        let mut text = String::new();
+        for w in &summary.windows {
+            text.push_str(&w.to_tsv());
+            text.push('\n');
+        }
+        std::fs::write(&report_path, &text).map_err(|e| format!("writing {report_path}: {e}"))?;
+        eprintln!(
+            "stream:  {} window reports written to {report_path}",
+            summary.windows.len()
+        );
+    }
     Ok(())
 }
 
@@ -295,5 +528,60 @@ mod tests {
     #[test]
     fn analyze_rejects_missing_world() {
         assert!(cmd_analyze(&args(&["--world", "/nonexistent-wearscope-dir"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_by_name() {
+        let err = cmd_generate(&args(&["--out", "/tmp/x", "--frobnicate", "1"])).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+        let err = cmd_analyze(&args(&["--world", "/tmp/x", "--wokers", "4"])).unwrap_err();
+        assert!(err.contains("--wokers"), "{err}");
+        let err = cmd_corrupt(&args(&["--world", "/tmp/x", "--fault", "all"])).unwrap_err();
+        assert!(err.contains("--fault"), "{err}");
+        let err = cmd_stream(&args(&["--world", "/tmp/x", "--widow", "1h"])).unwrap_err();
+        assert!(err.contains("--widow"), "{err}");
+        let err = cmd_experiments(&args(&["extra"])).unwrap_err();
+        assert!(err.contains("extra"), "{err}");
+    }
+
+    #[test]
+    fn workers_zero_is_rejected() {
+        let err = cmd_analyze(&args(&["--world", "/tmp/x", "--workers", "0"])).unwrap_err();
+        assert!(err.contains("worker count"), "{err}");
+        let err = cmd_analyze(&args(&["--world", "/tmp/x", "--workers", "many"])).unwrap_err();
+        assert!(err.contains("worker count"), "{err}");
+    }
+
+    #[test]
+    fn duration_parsing() {
+        assert_eq!(parse_duration("90s").unwrap().as_secs(), 90);
+        assert_eq!(parse_duration("15m").unwrap().as_secs(), 900);
+        assert_eq!(parse_duration("1h").unwrap().as_secs(), 3600);
+        assert_eq!(parse_duration("2d").unwrap().as_secs(), 172_800);
+        assert_eq!(parse_duration("45").unwrap().as_secs(), 45);
+        // Zero is a legal duration (e.g. --lateness 0); window validity is
+        // WindowSpec's concern.
+        assert_eq!(parse_duration("0").unwrap().as_secs(), 0);
+        assert!(parse_duration("h").is_err());
+        assert!(parse_duration("1w").is_err());
+        assert!(parse_duration("").is_err());
+    }
+
+    #[test]
+    fn stream_flag_validation() {
+        let err = cmd_stream(&args(&["--window", "1h"])).unwrap_err();
+        assert!(err.contains("--world"), "{err}");
+        let err = cmd_stream(&args(&["--world", "/tmp/x", "--resume"])).unwrap_err();
+        assert!(err.contains("--checkpoint"), "{err}");
+        let err = cmd_stream(&args(&["--world", "/tmp/x", "--max-open", "0"])).unwrap_err();
+        assert!(err.contains("--max-open"), "{err}");
+        let err = cmd_stream(&args(&["--world", "/tmp/x", "--backpressure", "panic"])).unwrap_err();
+        assert!(err.contains("backpressure"), "{err}");
+        // Slide wider than the window is rejected by the window spec.
+        let err = cmd_stream(&args(&[
+            "--world", "/tmp/x", "--window", "15m", "--slide", "1h",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("slide"), "{err}");
     }
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration_tracking-6e7455a8e241a7d3.d: tests/calibration_tracking.rs
+
+/root/repo/target/debug/deps/calibration_tracking-6e7455a8e241a7d3: tests/calibration_tracking.rs
+
+tests/calibration_tracking.rs:

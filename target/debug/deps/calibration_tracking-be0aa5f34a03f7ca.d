@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration_tracking-be0aa5f34a03f7ca.d: tests/calibration_tracking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration_tracking-be0aa5f34a03f7ca.rmeta: tests/calibration_tracking.rs Cargo.toml
+
+tests/calibration_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

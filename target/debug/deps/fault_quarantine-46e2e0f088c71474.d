@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_quarantine-46e2e0f088c71474.d: tests/fault_quarantine.rs
+
+/root/repo/target/debug/deps/fault_quarantine-46e2e0f088c71474: tests/fault_quarantine.rs
+
+tests/fault_quarantine.rs:

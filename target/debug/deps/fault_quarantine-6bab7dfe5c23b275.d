@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_quarantine-6bab7dfe5c23b275.d: tests/fault_quarantine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_quarantine-6bab7dfe5c23b275.rmeta: tests/fault_quarantine.rs Cargo.toml
+
+tests/fault_quarantine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_shapes-b3dc3b75fbeae01d.d: tests/figure_shapes.rs
+
+/root/repo/target/debug/deps/figure_shapes-b3dc3b75fbeae01d: tests/figure_shapes.rs
+
+tests/figure_shapes.rs:

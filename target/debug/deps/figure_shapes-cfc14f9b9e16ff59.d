@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure_shapes-cfc14f9b9e16ff59.d: tests/figure_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure_shapes-cfc14f9b9e16ff59.rmeta: tests/figure_shapes.rs Cargo.toml
+
+tests/figure_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

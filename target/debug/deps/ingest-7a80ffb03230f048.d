@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ingest-7a80ffb03230f048.d: crates/bench/benches/ingest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libingest-7a80ffb03230f048.rmeta: crates/bench/benches/ingest.rs Cargo.toml
+
+crates/bench/benches/ingest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ingest_determinism-81bbcb4dea15919c.d: tests/ingest_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libingest_determinism-81bbcb4dea15919c.rmeta: tests/ingest_determinism.rs Cargo.toml
+
+tests/ingest_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ingest_determinism-bdfc76df72fb3610.d: tests/ingest_determinism.rs
+
+/root/repo/target/debug/deps/ingest_determinism-bdfc76df72fb3610: tests/ingest_determinism.rs
+
+tests/ingest_determinism.rs:

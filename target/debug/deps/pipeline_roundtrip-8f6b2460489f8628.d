@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_roundtrip-8f6b2460489f8628.d: tests/pipeline_roundtrip.rs
+
+/root/repo/target/debug/deps/pipeline_roundtrip-8f6b2460489f8628: tests/pipeline_roundtrip.rs
+
+tests/pipeline_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_roundtrip-98fa87d2bfe85ae0.d: tests/pipeline_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_roundtrip-98fa87d2bfe85ae0.rmeta: tests/pipeline_roundtrip.rs Cargo.toml
+
+tests/pipeline_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

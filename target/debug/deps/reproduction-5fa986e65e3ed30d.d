@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction-5fa986e65e3ed30d.d: tests/reproduction.rs
+
+/root/repo/target/debug/deps/reproduction-5fa986e65e3ed30d: tests/reproduction.rs
+
+tests/reproduction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduction-825b19d7213a33dd.d: tests/reproduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduction-825b19d7213a33dd.rmeta: tests/reproduction.rs Cargo.toml
+
+tests/reproduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

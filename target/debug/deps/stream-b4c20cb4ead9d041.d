@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stream-b4c20cb4ead9d041.d: crates/bench/benches/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream-b4c20cb4ead9d041.rmeta: crates/bench/benches/stream.rs Cargo.toml
+
+crates/bench/benches/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

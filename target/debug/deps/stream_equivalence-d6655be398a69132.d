@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream_equivalence-d6655be398a69132.d: tests/stream_equivalence.rs
+
+/root/repo/target/debug/deps/stream_equivalence-d6655be398a69132: tests/stream_equivalence.rs
+
+tests/stream_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stream_equivalence-eb41fdb67b6dba59.d: tests/stream_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream_equivalence-eb41fdb67b6dba59.rmeta: tests/stream_equivalence.rs Cargo.toml
+
+tests/stream_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stream_faults-081a6537d9a3a11d.d: tests/stream_faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream_faults-081a6537d9a3a11d.rmeta: tests/stream_faults.rs Cargo.toml
+
+tests/stream_faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream_faults-449565f471135a12.d: tests/stream_faults.rs
+
+/root/repo/target/debug/deps/stream_faults-449565f471135a12: tests/stream_faults.rs
+
+tests/stream_faults.rs:

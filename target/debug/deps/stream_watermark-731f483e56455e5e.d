@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stream_watermark-731f483e56455e5e.d: tests/stream_watermark.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream_watermark-731f483e56455e5e.rmeta: tests/stream_watermark.rs Cargo.toml
+
+tests/stream_watermark.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

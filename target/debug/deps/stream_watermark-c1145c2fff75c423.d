@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream_watermark-c1145c2fff75c423.d: tests/stream_watermark.rs
+
+/root/repo/target/debug/deps/stream_watermark-c1145c2fff75c423: tests/stream_watermark.rs
+
+tests/stream_watermark.rs:

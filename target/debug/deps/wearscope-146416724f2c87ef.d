@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wearscope-146416724f2c87ef.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwearscope-146416724f2c87ef.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

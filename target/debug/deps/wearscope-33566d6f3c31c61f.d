@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wearscope-33566d6f3c31c61f.d: src/lib.rs
+
+/root/repo/target/debug/deps/wearscope-33566d6f3c31c61f: src/lib.rs
+
+src/lib.rs:

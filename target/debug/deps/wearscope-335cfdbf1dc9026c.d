@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wearscope-335cfdbf1dc9026c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwearscope-335cfdbf1dc9026c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwearscope-335cfdbf1dc9026c.rmeta: src/lib.rs
+
+src/lib.rs:

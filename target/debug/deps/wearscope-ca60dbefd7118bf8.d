@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wearscope-ca60dbefd7118bf8.d: src/main.rs
+
+/root/repo/target/debug/deps/wearscope-ca60dbefd7118bf8: src/main.rs
+
+src/main.rs:

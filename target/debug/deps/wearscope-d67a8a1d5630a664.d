@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wearscope-d67a8a1d5630a664.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwearscope-d67a8a1d5630a664.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

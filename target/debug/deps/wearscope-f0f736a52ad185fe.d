@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wearscope-f0f736a52ad185fe.d: src/main.rs
+
+/root/repo/target/debug/deps/wearscope-f0f736a52ad185fe: src/main.rs
+
+src/main.rs:

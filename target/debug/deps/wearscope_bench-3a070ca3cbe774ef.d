@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wearscope_bench-3a070ca3cbe774ef.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/wearscope_bench-3a070ca3cbe774ef: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wearscope_bench-42a1ef7d588a7bf9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwearscope_bench-42a1ef7d588a7bf9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwearscope_bench-42a1ef7d588a7bf9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

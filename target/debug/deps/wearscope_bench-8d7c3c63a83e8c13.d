@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wearscope_bench-8d7c3c63a83e8c13.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwearscope_bench-8d7c3c63a83e8c13.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

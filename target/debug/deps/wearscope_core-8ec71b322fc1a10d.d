@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/wearscope_core-8ec71b322fc1a10d.d: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/adoption.rs crates/core/src/apps.rs crates/core/src/compare.rs crates/core/src/context.rs crates/core/src/devices.rs crates/core/src/merge.rs crates/core/src/mobility.rs crates/core/src/quality.rs crates/core/src/sessions.rs crates/core/src/stats.rs crates/core/src/takeaways.rs crates/core/src/thirdparty.rs crates/core/src/through_device.rs crates/core/src/weekly.rs
+/root/repo/target/debug/deps/wearscope_core-8ec71b322fc1a10d.d: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/adoption.rs crates/core/src/apps.rs crates/core/src/compare.rs crates/core/src/context.rs crates/core/src/devices.rs crates/core/src/merge.rs crates/core/src/mobility.rs crates/core/src/quality.rs crates/core/src/sessions.rs crates/core/src/snapshot.rs crates/core/src/stats.rs crates/core/src/takeaways.rs crates/core/src/thirdparty.rs crates/core/src/through_device.rs crates/core/src/weekly.rs
 
-/root/repo/target/debug/deps/libwearscope_core-8ec71b322fc1a10d.rlib: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/adoption.rs crates/core/src/apps.rs crates/core/src/compare.rs crates/core/src/context.rs crates/core/src/devices.rs crates/core/src/merge.rs crates/core/src/mobility.rs crates/core/src/quality.rs crates/core/src/sessions.rs crates/core/src/stats.rs crates/core/src/takeaways.rs crates/core/src/thirdparty.rs crates/core/src/through_device.rs crates/core/src/weekly.rs
+/root/repo/target/debug/deps/libwearscope_core-8ec71b322fc1a10d.rlib: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/adoption.rs crates/core/src/apps.rs crates/core/src/compare.rs crates/core/src/context.rs crates/core/src/devices.rs crates/core/src/merge.rs crates/core/src/mobility.rs crates/core/src/quality.rs crates/core/src/sessions.rs crates/core/src/snapshot.rs crates/core/src/stats.rs crates/core/src/takeaways.rs crates/core/src/thirdparty.rs crates/core/src/through_device.rs crates/core/src/weekly.rs
 
-/root/repo/target/debug/deps/libwearscope_core-8ec71b322fc1a10d.rmeta: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/adoption.rs crates/core/src/apps.rs crates/core/src/compare.rs crates/core/src/context.rs crates/core/src/devices.rs crates/core/src/merge.rs crates/core/src/mobility.rs crates/core/src/quality.rs crates/core/src/sessions.rs crates/core/src/stats.rs crates/core/src/takeaways.rs crates/core/src/thirdparty.rs crates/core/src/through_device.rs crates/core/src/weekly.rs
+/root/repo/target/debug/deps/libwearscope_core-8ec71b322fc1a10d.rmeta: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/adoption.rs crates/core/src/apps.rs crates/core/src/compare.rs crates/core/src/context.rs crates/core/src/devices.rs crates/core/src/merge.rs crates/core/src/mobility.rs crates/core/src/quality.rs crates/core/src/sessions.rs crates/core/src/snapshot.rs crates/core/src/stats.rs crates/core/src/takeaways.rs crates/core/src/thirdparty.rs crates/core/src/through_device.rs crates/core/src/weekly.rs
 
 crates/core/src/lib.rs:
 crates/core/src/activity.rs:
@@ -15,6 +15,7 @@ crates/core/src/merge.rs:
 crates/core/src/mobility.rs:
 crates/core/src/quality.rs:
 crates/core/src/sessions.rs:
+crates/core/src/snapshot.rs:
 crates/core/src/stats.rs:
 crates/core/src/takeaways.rs:
 crates/core/src/thirdparty.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/wearscope_core-b0a84d304db298b1.d: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/adoption.rs crates/core/src/apps.rs crates/core/src/compare.rs crates/core/src/context.rs crates/core/src/devices.rs crates/core/src/merge.rs crates/core/src/mobility.rs crates/core/src/quality.rs crates/core/src/sessions.rs crates/core/src/stats.rs crates/core/src/takeaways.rs crates/core/src/thirdparty.rs crates/core/src/through_device.rs crates/core/src/weekly.rs Cargo.toml
+/root/repo/target/debug/deps/wearscope_core-b0a84d304db298b1.d: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/adoption.rs crates/core/src/apps.rs crates/core/src/compare.rs crates/core/src/context.rs crates/core/src/devices.rs crates/core/src/merge.rs crates/core/src/mobility.rs crates/core/src/quality.rs crates/core/src/sessions.rs crates/core/src/snapshot.rs crates/core/src/stats.rs crates/core/src/takeaways.rs crates/core/src/thirdparty.rs crates/core/src/through_device.rs crates/core/src/weekly.rs Cargo.toml
 
-/root/repo/target/debug/deps/libwearscope_core-b0a84d304db298b1.rmeta: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/adoption.rs crates/core/src/apps.rs crates/core/src/compare.rs crates/core/src/context.rs crates/core/src/devices.rs crates/core/src/merge.rs crates/core/src/mobility.rs crates/core/src/quality.rs crates/core/src/sessions.rs crates/core/src/stats.rs crates/core/src/takeaways.rs crates/core/src/thirdparty.rs crates/core/src/through_device.rs crates/core/src/weekly.rs Cargo.toml
+/root/repo/target/debug/deps/libwearscope_core-b0a84d304db298b1.rmeta: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/adoption.rs crates/core/src/apps.rs crates/core/src/compare.rs crates/core/src/context.rs crates/core/src/devices.rs crates/core/src/merge.rs crates/core/src/mobility.rs crates/core/src/quality.rs crates/core/src/sessions.rs crates/core/src/snapshot.rs crates/core/src/stats.rs crates/core/src/takeaways.rs crates/core/src/thirdparty.rs crates/core/src/through_device.rs crates/core/src/weekly.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/activity.rs:
@@ -13,6 +13,7 @@ crates/core/src/merge.rs:
 crates/core/src/mobility.rs:
 crates/core/src/quality.rs:
 crates/core/src/sessions.rs:
+crates/core/src/snapshot.rs:
 crates/core/src/stats.rs:
 crates/core/src/takeaways.rs:
 crates/core/src/thirdparty.rs:

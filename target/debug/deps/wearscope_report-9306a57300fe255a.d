@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/wearscope_report-9306a57300fe255a.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/experiments.rs crates/report/src/figures.rs crates/report/src/ingest.rs crates/report/src/plot.rs crates/report/src/quality.rs crates/report/src/summary.rs crates/report/src/table.rs
+/root/repo/target/debug/deps/wearscope_report-9306a57300fe255a.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/experiments.rs crates/report/src/figures.rs crates/report/src/ingest.rs crates/report/src/plot.rs crates/report/src/quality.rs crates/report/src/stream.rs crates/report/src/summary.rs crates/report/src/table.rs
 
-/root/repo/target/debug/deps/wearscope_report-9306a57300fe255a: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/experiments.rs crates/report/src/figures.rs crates/report/src/ingest.rs crates/report/src/plot.rs crates/report/src/quality.rs crates/report/src/summary.rs crates/report/src/table.rs
+/root/repo/target/debug/deps/wearscope_report-9306a57300fe255a: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/experiments.rs crates/report/src/figures.rs crates/report/src/ingest.rs crates/report/src/plot.rs crates/report/src/quality.rs crates/report/src/stream.rs crates/report/src/summary.rs crates/report/src/table.rs
 
 crates/report/src/lib.rs:
 crates/report/src/csv.rs:
@@ -9,5 +9,6 @@ crates/report/src/figures.rs:
 crates/report/src/ingest.rs:
 crates/report/src/plot.rs:
 crates/report/src/quality.rs:
+crates/report/src/stream.rs:
 crates/report/src/summary.rs:
 crates/report/src/table.rs:

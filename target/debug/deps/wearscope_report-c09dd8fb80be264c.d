@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/wearscope_report-c09dd8fb80be264c.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/experiments.rs crates/report/src/figures.rs crates/report/src/ingest.rs crates/report/src/plot.rs crates/report/src/quality.rs crates/report/src/summary.rs crates/report/src/table.rs
+/root/repo/target/debug/deps/wearscope_report-c09dd8fb80be264c.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/experiments.rs crates/report/src/figures.rs crates/report/src/ingest.rs crates/report/src/plot.rs crates/report/src/quality.rs crates/report/src/stream.rs crates/report/src/summary.rs crates/report/src/table.rs
 
-/root/repo/target/debug/deps/libwearscope_report-c09dd8fb80be264c.rlib: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/experiments.rs crates/report/src/figures.rs crates/report/src/ingest.rs crates/report/src/plot.rs crates/report/src/quality.rs crates/report/src/summary.rs crates/report/src/table.rs
+/root/repo/target/debug/deps/libwearscope_report-c09dd8fb80be264c.rlib: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/experiments.rs crates/report/src/figures.rs crates/report/src/ingest.rs crates/report/src/plot.rs crates/report/src/quality.rs crates/report/src/stream.rs crates/report/src/summary.rs crates/report/src/table.rs
 
-/root/repo/target/debug/deps/libwearscope_report-c09dd8fb80be264c.rmeta: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/experiments.rs crates/report/src/figures.rs crates/report/src/ingest.rs crates/report/src/plot.rs crates/report/src/quality.rs crates/report/src/summary.rs crates/report/src/table.rs
+/root/repo/target/debug/deps/libwearscope_report-c09dd8fb80be264c.rmeta: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/experiments.rs crates/report/src/figures.rs crates/report/src/ingest.rs crates/report/src/plot.rs crates/report/src/quality.rs crates/report/src/stream.rs crates/report/src/summary.rs crates/report/src/table.rs
 
 crates/report/src/lib.rs:
 crates/report/src/csv.rs:
@@ -11,5 +11,6 @@ crates/report/src/figures.rs:
 crates/report/src/ingest.rs:
 crates/report/src/plot.rs:
 crates/report/src/quality.rs:
+crates/report/src/stream.rs:
 crates/report/src/summary.rs:
 crates/report/src/table.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/wearscope_report-c100b888419cb540.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/experiments.rs crates/report/src/figures.rs crates/report/src/ingest.rs crates/report/src/plot.rs crates/report/src/quality.rs crates/report/src/summary.rs crates/report/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/wearscope_report-c100b888419cb540.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/experiments.rs crates/report/src/figures.rs crates/report/src/ingest.rs crates/report/src/plot.rs crates/report/src/quality.rs crates/report/src/stream.rs crates/report/src/summary.rs crates/report/src/table.rs Cargo.toml
 
-/root/repo/target/debug/deps/libwearscope_report-c100b888419cb540.rmeta: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/experiments.rs crates/report/src/figures.rs crates/report/src/ingest.rs crates/report/src/plot.rs crates/report/src/quality.rs crates/report/src/summary.rs crates/report/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/libwearscope_report-c100b888419cb540.rmeta: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/experiments.rs crates/report/src/figures.rs crates/report/src/ingest.rs crates/report/src/plot.rs crates/report/src/quality.rs crates/report/src/stream.rs crates/report/src/summary.rs crates/report/src/table.rs Cargo.toml
 
 crates/report/src/lib.rs:
 crates/report/src/csv.rs:
@@ -9,6 +9,7 @@ crates/report/src/figures.rs:
 crates/report/src/ingest.rs:
 crates/report/src/plot.rs:
 crates/report/src/quality.rs:
+crates/report/src/stream.rs:
 crates/report/src/summary.rs:
 crates/report/src/table.rs:
 Cargo.toml:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/wearscope_stream-42e0f81725756917.d: crates/stream/src/lib.rs crates/stream/src/aggregates.rs crates/stream/src/attrib.rs crates/stream/src/checkpoint.rs crates/stream/src/runtime.rs crates/stream/src/source.rs crates/stream/src/window.rs
+
+/root/repo/target/debug/deps/libwearscope_stream-42e0f81725756917.rlib: crates/stream/src/lib.rs crates/stream/src/aggregates.rs crates/stream/src/attrib.rs crates/stream/src/checkpoint.rs crates/stream/src/runtime.rs crates/stream/src/source.rs crates/stream/src/window.rs
+
+/root/repo/target/debug/deps/libwearscope_stream-42e0f81725756917.rmeta: crates/stream/src/lib.rs crates/stream/src/aggregates.rs crates/stream/src/attrib.rs crates/stream/src/checkpoint.rs crates/stream/src/runtime.rs crates/stream/src/source.rs crates/stream/src/window.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/aggregates.rs:
+crates/stream/src/attrib.rs:
+crates/stream/src/checkpoint.rs:
+crates/stream/src/runtime.rs:
+crates/stream/src/source.rs:
+crates/stream/src/window.rs:

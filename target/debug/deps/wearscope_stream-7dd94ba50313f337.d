@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/wearscope_stream-7dd94ba50313f337.d: crates/stream/src/lib.rs crates/stream/src/aggregates.rs crates/stream/src/attrib.rs crates/stream/src/checkpoint.rs crates/stream/src/runtime.rs crates/stream/src/source.rs crates/stream/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwearscope_stream-7dd94ba50313f337.rmeta: crates/stream/src/lib.rs crates/stream/src/aggregates.rs crates/stream/src/attrib.rs crates/stream/src/checkpoint.rs crates/stream/src/runtime.rs crates/stream/src/source.rs crates/stream/src/window.rs Cargo.toml
+
+crates/stream/src/lib.rs:
+crates/stream/src/aggregates.rs:
+crates/stream/src/attrib.rs:
+crates/stream/src/checkpoint.rs:
+crates/stream/src/runtime.rs:
+crates/stream/src/source.rs:
+crates/stream/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

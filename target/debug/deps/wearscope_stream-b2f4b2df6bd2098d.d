@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wearscope_stream-b2f4b2df6bd2098d.d: crates/stream/src/lib.rs crates/stream/src/aggregates.rs crates/stream/src/attrib.rs crates/stream/src/checkpoint.rs crates/stream/src/runtime.rs crates/stream/src/source.rs crates/stream/src/window.rs
+
+/root/repo/target/debug/deps/wearscope_stream-b2f4b2df6bd2098d: crates/stream/src/lib.rs crates/stream/src/aggregates.rs crates/stream/src/attrib.rs crates/stream/src/checkpoint.rs crates/stream/src/runtime.rs crates/stream/src/source.rs crates/stream/src/window.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/aggregates.rs:
+crates/stream/src/attrib.rs:
+crates/stream/src/checkpoint.rs:
+crates/stream/src/runtime.rs:
+crates/stream/src/source.rs:
+crates/stream/src/window.rs:

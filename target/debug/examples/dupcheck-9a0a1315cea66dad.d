@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dupcheck-9a0a1315cea66dad.d: examples/dupcheck.rs
+
+/root/repo/target/debug/examples/dupcheck-9a0a1315cea66dad: examples/dupcheck.rs
+
+examples/dupcheck.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stream-544990c18f133cab.d: crates/bench/benches/stream.rs
+
+/root/repo/target/release/deps/stream-544990c18f133cab: crates/bench/benches/stream.rs
+
+crates/bench/benches/stream.rs:

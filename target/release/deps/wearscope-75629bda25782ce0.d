@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wearscope-75629bda25782ce0.d: src/lib.rs
+
+/root/repo/target/release/deps/libwearscope-75629bda25782ce0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libwearscope-75629bda25782ce0.rmeta: src/lib.rs
+
+src/lib.rs:

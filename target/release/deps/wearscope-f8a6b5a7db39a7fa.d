@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wearscope-f8a6b5a7db39a7fa.d: src/main.rs
+
+/root/repo/target/release/deps/wearscope-f8a6b5a7db39a7fa: src/main.rs
+
+src/main.rs:

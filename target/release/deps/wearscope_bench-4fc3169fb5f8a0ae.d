@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wearscope_bench-4fc3169fb5f8a0ae.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libwearscope_bench-4fc3169fb5f8a0ae.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libwearscope_bench-4fc3169fb5f8a0ae.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/wearscope_stream-92da286a91d7aea7.d: crates/stream/src/lib.rs crates/stream/src/aggregates.rs crates/stream/src/attrib.rs crates/stream/src/checkpoint.rs crates/stream/src/runtime.rs crates/stream/src/source.rs crates/stream/src/window.rs
+
+/root/repo/target/release/deps/libwearscope_stream-92da286a91d7aea7.rlib: crates/stream/src/lib.rs crates/stream/src/aggregates.rs crates/stream/src/attrib.rs crates/stream/src/checkpoint.rs crates/stream/src/runtime.rs crates/stream/src/source.rs crates/stream/src/window.rs
+
+/root/repo/target/release/deps/libwearscope_stream-92da286a91d7aea7.rmeta: crates/stream/src/lib.rs crates/stream/src/aggregates.rs crates/stream/src/attrib.rs crates/stream/src/checkpoint.rs crates/stream/src/runtime.rs crates/stream/src/source.rs crates/stream/src/window.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/aggregates.rs:
+crates/stream/src/attrib.rs:
+crates/stream/src/checkpoint.rs:
+crates/stream/src/runtime.rs:
+crates/stream/src/source.rs:
+crates/stream/src/window.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/app_fingerprinting-013354e7c24d7333.d: examples/app_fingerprinting.rs
+
+/root/repo/target/release/examples/app_fingerprinting-013354e7c24d7333: examples/app_fingerprinting.rs
+
+examples/app_fingerprinting.rs:

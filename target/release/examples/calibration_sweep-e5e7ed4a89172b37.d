@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/calibration_sweep-e5e7ed4a89172b37.d: examples/calibration_sweep.rs
+
+/root/repo/target/release/examples/calibration_sweep-e5e7ed4a89172b37: examples/calibration_sweep.rs
+
+examples/calibration_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/capacity_planning-1c9c2c52e72c94e5.d: examples/capacity_planning.rs
+
+/root/repo/target/release/examples/capacity_planning-1c9c2c52e72c94e5: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mobility_study-87cc574519fb015e.d: examples/mobility_study.rs
+
+/root/repo/target/release/examples/mobility_study-87cc574519fb015e: examples/mobility_study.rs
+
+examples/mobility_study.rs:

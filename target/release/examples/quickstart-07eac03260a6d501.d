@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-07eac03260a6d501.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-07eac03260a6d501: examples/quickstart.rs
+
+examples/quickstart.rs:

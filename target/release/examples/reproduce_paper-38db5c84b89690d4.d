@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/reproduce_paper-38db5c84b89690d4.d: examples/reproduce_paper.rs
+
+/root/repo/target/release/examples/reproduce_paper-38db5c84b89690d4: examples/reproduce_paper.rs
+
+examples/reproduce_paper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/through_device-0f89179da8d22ff0.d: examples/through_device.rs
+
+/root/repo/target/release/examples/through_device-0f89179da8d22ff0: examples/through_device.rs
+
+examples/through_device.rs:

@@ -1,0 +1,110 @@
+//! Golden equivalence: streaming a persisted world through tumbling
+//! event-time windows and merging every emitted window's partials must
+//! reproduce the batch aggregates **bit-identically**.
+//!
+//! This is the streaming engine's core correctness contract: windowing,
+//! watermark-driven emission, online attribution and late-merge handling
+//! are all allowed to reorder *work*, but never to change a single bit of
+//! the final analysis. Two window widths are exercised — one aligned with
+//! the hourly figures (1 h) and one that straddles day boundaries (25 h) —
+//! so both many-window and few-window merges are covered.
+
+use wearscope::core::merge::CoreAggregates;
+use wearscope::ingest::{load_store_resilient, IngestOptions};
+use wearscope::prelude::*;
+use wearscope::stream::{PumpOptions, PumpOutcome, StreamRuntime, WindowAggregates};
+
+fn tiny_world(seed: u64) -> GeneratedWorld {
+    let mut config = ScenarioConfig::compact(seed);
+    config.wearable_users = 60;
+    config.comparison_users = 80;
+    config.through_device_users = 20;
+    generate(&config)
+}
+
+fn bits(samples: &[f64]) -> Vec<u64> {
+    samples.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn merged_stream_windows_reproduce_batch_aggregates_bit_identically() {
+    let world = tiny_world(7);
+    let dir = std::env::temp_dir().join(format!("wearscope-streq-{}", std::process::id()));
+    world.save(&dir).expect("save world");
+
+    // Batch side: the same resilient load `wearscope analyze` performs.
+    let opts = IngestOptions::for_world(&dir);
+    let (store, load_report) = load_store_resilient(&dir, 1, &opts).expect("batch load");
+    assert!(load_report.quality.quarantined.is_empty(), "pristine world");
+    let records = (store.proxy().len() + store.mme().len()) as u64;
+    let saved = GeneratedWorld::load_with_store(&dir, store).expect("load metadata");
+    let db = DeviceDb::standard();
+    let catalog = AppCatalog::standard();
+    let batch_ctx = StudyContext::new(&saved.store, &db, &saved.sectors, &catalog, saved.window);
+    let batch = CoreAggregates::sequential(&batch_ctx);
+
+    // Stream side: empty-store context; records arrive through the source.
+    let empty = TraceStore::new();
+    let stream_ctx = StudyContext::new(&empty, &db, &saved.sectors, &catalog, saved.window);
+
+    for width_secs in [3_600u64, 90_000] {
+        let spec = WindowSpec::tumbling(SimDuration::from_secs(width_secs)).unwrap();
+        let mut config = StreamConfig::new(spec, SimDuration::from_secs(300));
+        config.collect_aggregates = true;
+        config.max_timestamp = opts.max_timestamp;
+        let mut rt = StreamRuntime::new(&stream_ctx, config);
+        let mut src = WorldSource::open(&dir, false).expect("open source");
+        assert_eq!(
+            rt.pump(&mut src, &PumpOptions::default()).expect("pump"),
+            PumpOutcome::Finished
+        );
+        rt.finish();
+        let (summary, collected) = rt.into_results();
+        assert_eq!(
+            summary.quality.records_kept, records,
+            "width {width_secs}: every record of a pristine world is kept"
+        );
+        assert!(summary.quality.quarantined.is_empty(), "width {width_secs}");
+        assert_eq!(summary.late_merged, 0, "width {width_secs}: sorted input");
+        assert_eq!(summary.windows.len(), collected.len(), "width {width_secs}");
+        // Emitted indices are gapless and ascending.
+        for (i, pair) in collected.windows(2).enumerate() {
+            assert_eq!(pair[1].0, pair[0].0 + 1, "gap after window {i}");
+        }
+
+        // Merge every window's partials in index order and finish with the
+        // batch context — the exact contract of `wearscope_core::merge`.
+        let mut merged = WindowAggregates::identity();
+        for (_, w) in collected {
+            merged.merge(w);
+        }
+        let got = merged.finish(&batch_ctx);
+
+        assert_eq!(got.activity, batch.activity, "width {width_secs}");
+        assert_eq!(got.traffic, batch.traffic, "width {width_secs}");
+        assert_eq!(got.mobility, batch.mobility, "width {width_secs}");
+        assert_eq!(got.attributed, batch.attributed, "width {width_secs}");
+        assert_eq!(got.popularity, batch.popularity, "width {width_secs}");
+        assert_eq!(got.hourly, batch.hourly, "width {width_secs}");
+        assert_eq!(got.tx_stats, batch.tx_stats, "width {width_secs}");
+        // Float series compared through their bit patterns as well —
+        // `PartialEq` would accept 0.0 == -0.0.
+        assert_eq!(
+            bits(got.tx_stats.size.samples()),
+            bits(batch.tx_stats.size.samples()),
+            "width {width_secs}: transaction-size sample bits"
+        );
+        assert_eq!(
+            bits(got.tx_stats.hourly_tx_per_user.samples()),
+            bits(batch.tx_stats.hourly_tx_per_user.samples()),
+            "width {width_secs}: hourly-tx sample bits"
+        );
+        assert_eq!(
+            got.tx_stats.median_bytes.to_bits(),
+            batch.tx_stats.median_bytes.to_bits(),
+            "width {width_secs}: median bits"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

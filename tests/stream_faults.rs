@@ -1,0 +1,139 @@
+//! `corrupt` → `stream` smoke path: the streaming engine's quarantine and
+//! lateness counters must line up with the injector's own report, the same
+//! way the batch resilient loader's do.
+//!
+//! Two corruption profiles:
+//!
+//! * classes with a 1:1 quarantine reason (truncate/garbage/badimei/skew/
+//!   dup) — per-reason counts equal the injected counts exactly;
+//! * `reorder` alone — with a lateness horizon wider than any displacement
+//!   the records are *merged late*, not quarantined: the out-of-order
+//!   counter stays zero and `late_merged` is bounded by the injector's
+//!   swap count.
+
+use wearscope::faults::{corrupt_world, FaultClass, FaultSpec};
+use wearscope::ingest::IngestOptions;
+use wearscope::prelude::*;
+use wearscope::report::QuarantineReason;
+use wearscope::stream::{PumpOptions, PumpOutcome, StreamRuntime};
+
+fn tiny_world(seed: u64) -> GeneratedWorld {
+    let mut config = ScenarioConfig::compact(seed);
+    config.wearable_users = 60;
+    config.comparison_users = 80;
+    config.through_device_users = 20;
+    generate(&config)
+}
+
+/// Streams a world directory to completion with the given lateness.
+fn stream_world(dir: &std::path::Path, lateness_secs: u64) -> wearscope::report::StreamSummary {
+    let db = DeviceDb::standard();
+    let catalog = AppCatalog::standard();
+    let empty = TraceStore::new();
+    let saved_window = GeneratedWorld::load_with_store(dir, TraceStore::new())
+        .expect("load metadata")
+        .window;
+    let sectors = SectorDirectory::new();
+    let ctx = StudyContext::new(&empty, &db, &sectors, &catalog, saved_window);
+    let spec = WindowSpec::tumbling(SimDuration::from_hours(1)).unwrap();
+    let mut config = StreamConfig::new(spec, SimDuration::from_secs(lateness_secs));
+    config.max_timestamp = IngestOptions::for_world(dir).max_timestamp;
+    let mut rt = StreamRuntime::new(&ctx, config);
+    let mut src = WorldSource::open(dir, false)
+        .expect("open source")
+        .with_horizon(config.max_timestamp);
+    assert_eq!(
+        rt.pump(&mut src, &PumpOptions::default()).expect("pump"),
+        PumpOutcome::Finished
+    );
+    rt.finish();
+    rt.into_results().0
+}
+
+#[test]
+fn injected_faults_surface_as_matching_stream_quarantine_counts() {
+    let world = tiny_world(7);
+    let dir = std::env::temp_dir().join(format!("wearscope-strfault-{}", std::process::id()));
+    world.save(&dir).expect("save world");
+
+    let spec: FaultSpec = "truncate=1,garbage=0.002,badimei=0.002,skew=0.002,dup=0.002"
+        .parse()
+        .expect("spec");
+    let injected = corrupt_world(&dir, 3, &spec).expect("corrupt");
+    for class in [
+        FaultClass::Truncate,
+        FaultClass::Garbage,
+        FaultClass::BadImei,
+        FaultClass::Skew,
+        FaultClass::Duplicate,
+    ] {
+        assert!(injected.count(class) > 0, "class {class} never fired");
+    }
+
+    // A one-hour lateness horizon comfortably covers the duplicate
+    // adjacency, so the duplicate set still remembers every original.
+    let summary = stream_world(&dir, 3600);
+    let q = &summary.quality.quarantined;
+    assert_eq!(
+        q.get(QuarantineReason::Truncated),
+        injected.count(FaultClass::Truncate),
+        "truncated"
+    );
+    assert_eq!(
+        q.get(QuarantineReason::BadField),
+        injected.count(FaultClass::Garbage),
+        "bad-field"
+    );
+    assert_eq!(
+        q.get(QuarantineReason::UnknownImei),
+        injected.count(FaultClass::BadImei),
+        "unknown-imei"
+    );
+    assert_eq!(
+        q.get(QuarantineReason::Skewed),
+        injected.count(FaultClass::Skew),
+        "skewed"
+    );
+    assert_eq!(
+        q.get(QuarantineReason::Duplicate),
+        injected.count(FaultClass::Duplicate),
+        "duplicate"
+    );
+    assert_eq!(q.get(QuarantineReason::OutOfOrder), 0, "out-of-order");
+    assert_eq!(
+        summary.quality.records_seen,
+        summary.quality.records_kept + q.total()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reordered_records_within_the_lateness_horizon_merge_late() {
+    let world = tiny_world(11);
+    let dir = std::env::temp_dir().join(format!("wearscope-strorder-{}", std::process::id()));
+    world.save(&dir).expect("save world");
+
+    let spec = FaultSpec::single(FaultClass::Reorder, 0.002);
+    let injected = corrupt_world(&dir, 3, &spec).expect("corrupt");
+    let swaps = injected.count(FaultClass::Reorder);
+    assert!(swaps > 0, "reorder never fired");
+
+    let summary = stream_world(&dir, 3600);
+    assert!(
+        summary.quality.quarantined.is_empty(),
+        "a 1h lateness horizon absorbs adjacent swaps: {}",
+        summary.quality.summary_line()
+    );
+    assert!(
+        summary.late_merged > 0,
+        "reordering must show up as late merges"
+    );
+    assert!(
+        summary.late_merged <= 2 * swaps,
+        "each swap displaces at most two records ({} late, {swaps} swaps)",
+        summary.late_merged
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,168 @@
+//! Watermark edge cases, pinned to exact counts:
+//!
+//! * a record exactly at a window boundary belongs to the *next* window
+//!   (half-open semantics);
+//! * zero allowed lateness quarantines anything behind the max event time;
+//! * a late-but-allowed record arriving *after* a checkpoint + resume is
+//!   merged exactly as in the uninterrupted run — final reports are
+//!   byte-identical;
+//! * a silent window between two active ones still emits (all zeros).
+
+use wearscope::prelude::*;
+use wearscope::report::QuarantineReason;
+use wearscope::stream::{checkpoint, SourceItem, StreamEvent, StreamRuntime};
+use wearscope::trace::Scheme;
+
+struct Fixture {
+    store: TraceStore,
+    db: DeviceDb,
+    sectors: SectorDirectory,
+    catalog: AppCatalog,
+}
+
+impl Fixture {
+    fn new() -> Fixture {
+        Fixture {
+            store: TraceStore::new(),
+            db: DeviceDb::standard(),
+            sectors: SectorDirectory::new(),
+            catalog: AppCatalog::standard(),
+        }
+    }
+
+    fn ctx(&self) -> StudyContext<'_> {
+        StudyContext::new(
+            &self.store,
+            &self.db,
+            &self.sectors,
+            &self.catalog,
+            ObservationWindow::compact(),
+        )
+    }
+
+    fn proxy(&self, user: u64, t: u64) -> SourceItem {
+        SourceItem::Event(StreamEvent::Proxy(ProxyRecord {
+            timestamp: SimTime::from_secs(t),
+            user: UserId(user),
+            imei: self
+                .db
+                .example_imei(self.db.wearable_tacs()[0], user as u32)
+                .as_u64(),
+            host: "api.weather.com".into(),
+            scheme: Scheme::Https,
+            bytes_down: 100,
+            bytes_up: 10,
+        }))
+    }
+}
+
+fn hour_config(lateness_secs: u64) -> StreamConfig {
+    StreamConfig::new(
+        WindowSpec::tumbling(SimDuration::from_hours(1)).unwrap(),
+        SimDuration::from_secs(lateness_secs),
+    )
+}
+
+#[test]
+fn record_exactly_at_the_boundary_opens_the_next_window() {
+    let fx = Fixture::new();
+    let ctx = fx.ctx();
+    let mut rt = StreamRuntime::new(&ctx, hour_config(0));
+    for t in [3599u64, 3600] {
+        rt.process_item(fx.proxy(1, t)).unwrap();
+    }
+    rt.finish();
+    let (summary, _) = rt.into_results();
+    assert_eq!(summary.windows.len(), 2);
+    assert_eq!(summary.windows[0].index, 0);
+    assert_eq!(summary.windows[0].proxy_records, 1); // t = 3599 only
+    assert_eq!(summary.windows[1].index, 1);
+    assert_eq!(summary.windows[1].proxy_records, 1); // t = 3600
+    assert_eq!(summary.windows[1].start_secs, 3600);
+    assert_eq!(summary.quality.records_kept, 2);
+    assert!(summary.quality.quarantined.is_empty());
+}
+
+#[test]
+fn zero_lateness_quarantines_anything_behind_the_max_event() {
+    let fx = Fixture::new();
+    let ctx = fx.ctx();
+    let mut rt = StreamRuntime::new(&ctx, hour_config(0));
+    for t in [100u64, 200, 150] {
+        rt.process_item(fx.proxy(1, t)).unwrap();
+    }
+    rt.finish();
+    let (summary, _) = rt.into_results();
+    assert_eq!(summary.quality.records_kept, 2);
+    assert_eq!(
+        summary
+            .quality
+            .quarantined
+            .get(QuarantineReason::OutOfOrder),
+        1
+    );
+    assert_eq!(summary.late_merged, 0);
+    assert_eq!(summary.windows.len(), 1);
+    assert_eq!(summary.windows[0].proxy_records, 2);
+}
+
+#[test]
+fn late_record_after_checkpoint_resume_merges_identically() {
+    let fx = Fixture::new();
+    let ctx = fx.ctx();
+    let config = hour_config(600);
+    let events = [1000u64, 2000, 1500, 4000, 7300];
+
+    // Uninterrupted run.
+    let mut whole = StreamRuntime::new(&ctx, config);
+    for t in events {
+        whole.process_item(fx.proxy(1, t)).unwrap();
+    }
+    whole.finish();
+    let (want, _) = whole.into_results();
+    assert_eq!(want.late_merged, 1, "t = 1500 behind max event 2000");
+    assert!(want.quality.quarantined.is_empty());
+
+    // Kill after [1000, 2000], checkpoint, resume, then the late record.
+    let mut first = StreamRuntime::new(&ctx, config);
+    for t in &events[..2] {
+        first.process_item(fx.proxy(1, *t)).unwrap();
+    }
+    let text = checkpoint::to_text(&first, None);
+    let (mut resumed, _) = checkpoint::from_text(&ctx, config, &text).expect("restore");
+    for t in &events[2..] {
+        resumed.process_item(fx.proxy(1, *t)).unwrap();
+    }
+    resumed.finish();
+    let (got, _) = resumed.into_results();
+    assert_eq!(got.late_merged, 1);
+    assert_eq!(got.windows, want.windows);
+    assert_eq!(got.render(), want.render(), "byte-identical reports");
+}
+
+#[test]
+fn empty_window_between_active_ones_is_emitted_as_zeros() {
+    let fx = Fixture::new();
+    let ctx = fx.ctx();
+    let mut rt = StreamRuntime::new(&ctx, hour_config(300));
+    // Window 0 active, windows 1-2 silent, window 3 active.
+    for t in [500u64, 600, 11_000, 11_100, 11_200] {
+        rt.process_item(fx.proxy(2, t)).unwrap();
+    }
+    rt.finish();
+    let (summary, _) = rt.into_results();
+    let per_window: Vec<(u64, u64)> = summary
+        .windows
+        .iter()
+        .map(|w| (w.index, w.proxy_records))
+        .collect();
+    assert_eq!(per_window, vec![(0, 2), (1, 0), (2, 0), (3, 3)]);
+    for w in &summary.windows[1..3] {
+        assert_eq!(w.mme_records, 0);
+        assert_eq!(w.users, 0);
+        assert_eq!(w.wearable_tx, 0);
+        assert_eq!(w.late_merged, 0);
+        assert!(!w.forced);
+    }
+    assert_eq!(summary.quality.records_kept, 5);
+}
