@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/app_fingerprinting-f11b838a45db8048.d: examples/app_fingerprinting.rs
+
+/root/repo/target/debug/examples/app_fingerprinting-f11b838a45db8048: examples/app_fingerprinting.rs
+
+examples/app_fingerprinting.rs:

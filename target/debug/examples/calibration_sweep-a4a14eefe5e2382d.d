@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibration_sweep-a4a14eefe5e2382d.d: examples/calibration_sweep.rs
+
+/root/repo/target/debug/examples/calibration_sweep-a4a14eefe5e2382d: examples/calibration_sweep.rs
+
+examples/calibration_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-05b568e1ef6a780b.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-05b568e1ef6a780b: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

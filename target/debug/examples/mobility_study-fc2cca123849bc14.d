@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mobility_study-fc2cca123849bc14.d: examples/mobility_study.rs
+
+/root/repo/target/debug/examples/mobility_study-fc2cca123849bc14: examples/mobility_study.rs
+
+examples/mobility_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-68eaac47cc04b61e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-68eaac47cc04b61e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reproduce_paper-a7cf84b8228e2cd9.d: examples/reproduce_paper.rs
+
+/root/repo/target/debug/examples/reproduce_paper-a7cf84b8228e2cd9: examples/reproduce_paper.rs
+
+examples/reproduce_paper.rs:

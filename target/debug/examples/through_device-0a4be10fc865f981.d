@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/through_device-0a4be10fc865f981.d: examples/through_device.rs
+
+/root/repo/target/debug/examples/through_device-0a4be10fc865f981: examples/through_device.rs
+
+examples/through_device.rs:
