@@ -30,7 +30,25 @@ diff "$FAULT_DIR/out1.txt" "$FAULT_DIR/out4.txt"
 diff -r "$FAULT_DIR/csv1" "$FAULT_DIR/csv4"
 echo "    corrupted-world analysis identical across worker counts"
 
+echo "==> metrics determinism: analyze with 1 and 4 workers, diff snapshots"
+# Everything outside the snapshot's `timing` key is derived from record
+# content only, so it must be byte-identical across worker counts. `timing`
+# is serialized last, so stripping it is a prefix cut.
+"$WEARSCOPE" analyze --world "$FAULT_DIR/world" --workers 1 \
+    --metrics "$FAULT_DIR/metrics1.json" >/dev/null 2>&1
+"$WEARSCOPE" analyze --world "$FAULT_DIR/world" --workers 4 \
+    --metrics "$FAULT_DIR/metrics4.json" >/dev/null 2>&1
+awk '/^  "timing":/{exit} {print}' "$FAULT_DIR/metrics1.json" >"$FAULT_DIR/metrics1.det"
+awk '/^  "timing":/{exit} {print}' "$FAULT_DIR/metrics4.json" >"$FAULT_DIR/metrics4.det"
+test -s "$FAULT_DIR/metrics1.det"
+diff "$FAULT_DIR/metrics1.det" "$FAULT_DIR/metrics4.det"
+echo "    metric snapshots identical across worker counts (timing excluded)"
+
 echo "==> stream drill: kill mid-run, resume from checkpoint, diff reports"
+# Checkpoint writes are atomic AND durable: temp file in the same directory,
+# fsync the bytes, rename over the old checkpoint, then fsync the parent
+# directory so the rename itself survives a crash — a kill right after the
+# rename cannot resurrect the previous checkpoint.
 "$WEARSCOPE" generate --out "$FAULT_DIR/stream-world" --seed 11 --scale quick 2>/dev/null
 "$WEARSCOPE" stream --world "$FAULT_DIR/stream-world" --window 1h --lateness 5m \
     --report "$FAULT_DIR/stream-full.txt" >/dev/null 2>&1

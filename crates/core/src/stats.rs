@@ -318,6 +318,64 @@ mod tests {
     }
 
     #[test]
+    fn ecdf_single_sample() {
+        let e = Ecdf::from_samples(vec![7.5]);
+        assert_eq!(e.len(), 1);
+        // Every quantile of a one-point distribution is that point.
+        assert_eq!(e.quantile(0.0), 7.5);
+        assert_eq!(e.quantile(0.5), 7.5);
+        assert_eq!(e.quantile(1.0), 7.5);
+        assert_eq!(e.median(), 7.5);
+        assert_eq!(e.fraction_below(7.5), 0.0);
+        assert_eq!(e.fraction_at_or_below(7.5), 1.0);
+        assert_eq!(e.fraction_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_quantile_clamps_and_hits_extremes() {
+        let e = Ecdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        // Out-of-range q clamps rather than panics or extrapolates.
+        assert_eq!(e.quantile(-0.5), 1.0);
+        assert_eq!(e.quantile(1.5), 4.0);
+        // q=0 is the minimum, q=1 the maximum (nearest-rank convention).
+        assert_eq!(e.quantile(0.0), e.min());
+        assert_eq!(e.quantile(1.0), e.max());
+        // Just past a rank boundary steps to the next sample.
+        assert_eq!(e.quantile(0.25), 1.0);
+        assert_eq!(e.quantile(0.26), 2.0);
+    }
+
+    #[test]
+    fn ecdf_duplicate_heavy_samples() {
+        // 7 copies of 2.0 flanked by one 1.0 and two 3.0s.
+        let mut v = vec![2.0; 7];
+        v.push(1.0);
+        v.extend([3.0, 3.0]);
+        let e = Ecdf::from_samples(v);
+        assert_eq!(e.len(), 10);
+        // Strictly-below excludes the duplicate block, at-or-below
+        // includes all of it — no partial credit for ties.
+        assert_eq!(e.fraction_below(2.0), 0.1);
+        assert_eq!(e.fraction_at_or_below(2.0), 0.8);
+        // The quantile function is flat across the block.
+        assert_eq!(e.quantile(0.2), 2.0);
+        assert_eq!(e.quantile(0.5), 2.0);
+        assert_eq!(e.quantile(0.8), 2.0);
+        assert_eq!(e.quantile(0.81), 3.0);
+        assert_eq!(e.curve(), vec![(1.0, 0.1), (2.0, 0.8), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn ecdf_empty_quantile_extremes() {
+        let e = Ecdf::from_samples(vec![]);
+        assert_eq!(e.quantile(0.0), 0.0);
+        assert_eq!(e.quantile(1.0), 0.0);
+        assert_eq!(e.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.curve(), Vec::<(f64, f64)>::new());
+    }
+
+    #[test]
     fn ecdf_curve_collapses_duplicates() {
         let e = Ecdf::from_samples(vec![1.0, 1.0, 2.0]);
         assert_eq!(e.curve(), vec![(1.0, 2.0 / 3.0), (2.0, 1.0)]);

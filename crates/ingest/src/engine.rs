@@ -20,6 +20,7 @@ use wearscope_core::merge::{
 };
 use wearscope_core::sessions::{attribute_records, AttributedTx};
 use wearscope_core::{CoreAggregates, StudyContext};
+use wearscope_obs::Registry;
 use wearscope_report::{DataQuality, IngestReport, ShardFailure, ShardProgress, ShardSource};
 use wearscope_trace::{MmeRecord, ProxyRecord};
 
@@ -126,6 +127,45 @@ impl IngestEngine {
     /// The worker count this engine runs with.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// [`IngestEngine::compute`] that also records the pool's fold timings
+    /// into `metrics`.
+    ///
+    /// Everything lands in the **timing** section: the engine only runs on
+    /// the multi-worker path (`--workers 1` folds sequentially and never
+    /// constructs it), so even its record counts would differ between
+    /// worker counts and poison a determinism diff.
+    ///
+    /// # Errors
+    /// Exactly [`IngestEngine::compute`]'s.
+    pub fn compute_with_metrics(
+        &self,
+        ctx: &StudyContext<'_>,
+        metrics: &Registry,
+    ) -> Result<(CoreAggregates, IngestReport), IngestError> {
+        let out = self.compute(ctx)?;
+        let report = &out.1;
+        metrics
+            .timing_gauge("ingest.fold.workers")
+            .set(report.workers as i64);
+        metrics
+            .timing_counter("ingest.fold.shards")
+            .add(report.shards.len() as u64);
+        metrics
+            .timing_counter("ingest.fold.records")
+            .add(report.records());
+        let fold_us = metrics.timing_histogram(
+            "ingest.fold.shard_fold_us",
+            &[100, 1_000, 10_000, 100_000, 1_000_000],
+        );
+        for shard in &report.shards {
+            fold_us.observe(shard.wall.as_micros() as u64);
+        }
+        metrics
+            .timing_gauge("ingest.fold.wall_us")
+            .set(report.wall.as_micros() as i64);
+        Ok(out)
     }
 
     /// Computes every hot aggregate over `ctx`'s store with the worker
@@ -386,6 +426,40 @@ mod tests {
             );
             assert_eq!(report.parse_errors(), 0);
         }
+    }
+
+    #[test]
+    fn compute_with_metrics_reports_fold_timings() {
+        let (store, db, sectors, catalog) = world();
+        let ctx = StudyContext::new(
+            &store,
+            &db,
+            &sectors,
+            &catalog,
+            ObservationWindow::new(14, 14, Calendar::PAPER),
+        );
+        let reg = Registry::new();
+        let (_, report) = IngestEngine::new(3)
+            .compute_with_metrics(&ctx, &reg)
+            .unwrap();
+        let snap = reg.snapshot();
+        // All fold metrics live in the timing section — the engine never
+        // runs on the single-worker path, so none of them may appear in
+        // the deterministic maps.
+        assert!(snap.counters.is_empty());
+        assert_eq!(snap.timing.gauges["ingest.fold.workers"], 3);
+        assert_eq!(
+            snap.timing.counters["ingest.fold.shards"],
+            report.shards.len() as u64
+        );
+        assert_eq!(
+            snap.timing.counters["ingest.fold.records"],
+            report.records()
+        );
+        assert_eq!(
+            snap.timing.histograms["ingest.fold.shard_fold_us"].count,
+            report.shards.len() as u64
+        );
     }
 
     #[test]

@@ -98,7 +98,12 @@ impl From<io::Error> for IngestError {
 /// (`Interrupted`, `WouldBlock`, `TimedOut`) — the kinds a loaded NFS mount
 /// or signal-heavy host throws at long shard reads. Non-transient errors
 /// and the final attempt's error propagate unchanged.
-pub(crate) fn with_io_retry<T>(mut f: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+/// `retries`, when present, is incremented once per retried attempt (not
+/// per call), so a clean run contributes zero.
+pub(crate) fn with_io_retry<T>(
+    mut f: impl FnMut() -> io::Result<T>,
+    retries: Option<&wearscope_obs::Counter>,
+) -> io::Result<T> {
     const ATTEMPTS: u32 = 3;
     let mut delay = std::time::Duration::from_millis(5);
     for attempt in 0..ATTEMPTS {
@@ -113,6 +118,9 @@ pub(crate) fn with_io_retry<T>(mut f: impl FnMut() -> io::Result<T>) -> io::Resu
                             | io::ErrorKind::TimedOut
                     ) =>
             {
+                if let Some(c) = retries {
+                    c.inc();
+                }
                 std::thread::sleep(delay);
                 delay *= 2;
             }
@@ -129,32 +137,47 @@ mod tests {
     #[test]
     fn retry_recovers_from_transient_errors() {
         let mut failures = 2;
-        let out = with_io_retry(|| {
-            if failures > 0 {
-                failures -= 1;
-                Err(io::Error::new(io::ErrorKind::Interrupted, "signal"))
-            } else {
-                Ok(42)
-            }
-        })
+        let reg = wearscope_obs::Registry::new();
+        let retries = reg.counter("ingest.io_retries");
+        let out = with_io_retry(
+            || {
+                if failures > 0 {
+                    failures -= 1;
+                    Err(io::Error::new(io::ErrorKind::Interrupted, "signal"))
+                } else {
+                    Ok(42)
+                }
+            },
+            Some(&retries),
+        )
         .unwrap();
         assert_eq!(out, 42);
+        // One increment per retried attempt; a clean call adds nothing.
+        assert_eq!(retries.get(), 2);
+        with_io_retry(|| Ok(1), Some(&retries)).unwrap();
+        assert_eq!(retries.get(), 2);
     }
 
     #[test]
     fn retry_gives_up_after_budget() {
-        let err = with_io_retry::<()>(|| Err(io::Error::new(io::ErrorKind::TimedOut, "slow")))
-            .unwrap_err();
+        let err = with_io_retry::<()>(
+            || Err(io::Error::new(io::ErrorKind::TimedOut, "slow")),
+            None,
+        )
+        .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::TimedOut);
     }
 
     #[test]
     fn retry_does_not_mask_real_errors() {
         let mut calls = 0;
-        let err = with_io_retry::<()>(|| {
-            calls += 1;
-            Err(io::Error::new(io::ErrorKind::NotFound, "gone"))
-        })
+        let err = with_io_retry::<()>(
+            || {
+                calls += 1;
+                Err(io::Error::new(io::ErrorKind::NotFound, "gone"))
+            },
+            None,
+        )
         .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
         assert_eq!(calls, 1);

@@ -29,8 +29,10 @@ use std::time::Instant;
 
 use crossbeam::{channel, thread};
 
+use wearscope_obs::{Counter, Registry};
 use wearscope_report::{
-    DataQuality, IngestReport, QuarantineCounts, ShardFailure, ShardProgress, ShardSource,
+    DataQuality, IngestReport, QuarantineCounts, QuarantineReason, ShardFailure, ShardProgress,
+    ShardSource,
 };
 use wearscope_trace::{
     plan_tsv_shards, read_tsv_shard, ByteRange, MmeRecord, ProxyRecord, TraceStore, TsvRecord,
@@ -113,15 +115,18 @@ pub fn load_store_resilient(
     let (task_tx, task_rx) = channel::bounded::<Task>(tasks.len().max(1));
     let (result_tx, result_rx) = channel::bounded::<Done>(tasks.len().max(1));
 
+    let retries = opts.metrics.counter("ingest.io_retries");
+
     thread::scope(|s| {
         let proxy_path = &proxy_path;
         let mme_path = &mme_path;
         for _ in 0..workers {
             let task_rx = task_rx.clone();
             let result_tx = result_tx.clone();
+            let retries = retries.clone();
             s.spawn(move |_| {
                 for task in task_rx.iter() {
-                    let done = run_task(proxy_path, mme_path, task);
+                    let done = run_task(proxy_path, mme_path, task, &retries);
                     if result_tx.send(done).is_err() {
                         break;
                     }
@@ -171,6 +176,10 @@ pub fn load_store_resilient(
     let proxy = process_source(ShardSource::Proxy, proxy_slots, opts);
     let mme = process_source(ShardSource::Mme, mme_slots, opts);
 
+    record_source_metrics(&opts.metrics, ShardSource::Proxy, &proxy, &progress);
+    record_source_metrics(&opts.metrics, ShardSource::Mme, &mme, &progress);
+    record_pool_timings(&opts.metrics, workers, &progress, start);
+
     if let Some(path) = &opts.quarantine_log {
         if proxy.entries.is_empty() && mme.entries.is_empty() {
             match std::fs::remove_file(path) {
@@ -214,11 +223,11 @@ pub fn load_store_resilient(
 /// Reads one shard inside the worker: transient I/O errors are retried
 /// with backoff, and panics are caught so a poisoned shard becomes a
 /// recorded [`ShardFailure`] instead of tearing the pool down.
-fn run_task(proxy_path: &Path, mme_path: &Path, task: Task) -> Done {
+fn run_task(proxy_path: &Path, mme_path: &Path, task: Task, retries: &Counter) -> Done {
     let t0 = Instant::now();
     match task {
         Task::Proxy(i, range) => {
-            match guarded_read::<ProxyRecord>(proxy_path, range, ShardSource::Proxy, i) {
+            match guarded_read::<ProxyRecord>(proxy_path, range, ShardSource::Proxy, i, retries) {
                 Ok(shard) => {
                     let p = shard_progress(i, ShardSource::Proxy, &shard, t0);
                     Done::Proxy(i, shard, p)
@@ -227,7 +236,7 @@ fn run_task(proxy_path: &Path, mme_path: &Path, task: Task) -> Done {
             }
         }
         Task::Mme(i, range) => {
-            match guarded_read::<MmeRecord>(mme_path, range, ShardSource::Mme, i) {
+            match guarded_read::<MmeRecord>(mme_path, range, ShardSource::Mme, i, retries) {
                 Ok(shard) => {
                     let p = shard_progress(i, ShardSource::Mme, &shard, t0);
                     Done::Mme(i, shard, p)
@@ -243,11 +252,12 @@ fn guarded_read<R: TsvRecord>(
     range: ByteRange,
     source: ShardSource,
     shard: usize,
+    retries: &Counter,
 ) -> Result<TsvShard<R>, ShardFailure> {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         #[cfg(test)]
         test_hooks::maybe_panic(path, source, shard);
-        with_io_retry(|| read_tsv_shard::<R>(path, range))
+        with_io_retry(|| read_tsv_shard::<R>(path, range), Some(retries))
     }));
     match outcome {
         Ok(Ok(shard)) => Ok(shard),
@@ -359,6 +369,57 @@ fn process_source<R: ValidatedRecord>(
     }
 }
 
+/// Records one source's outcome into the registry: records seen/kept and
+/// quarantined-per-reason (all functions of file content alone), plus the
+/// source's byte and decode-error totals from the shard progress (their
+/// sums are the file size and the malformed-line count, both independent
+/// of shard layout). Per-shard quarantine attribution is layout-dependent,
+/// so it goes to the timing section.
+fn record_source_metrics<R>(
+    m: &Registry,
+    source: ShardSource,
+    outcome: &SourceOutcome<R>,
+    progress: &[ShardProgress],
+) {
+    let name = source.name();
+    m.counter(&format!("ingest.{name}.records_seen"))
+        .add(outcome.seen);
+    m.counter(&format!("ingest.{name}.records_kept"))
+        .add(outcome.kept.len() as u64);
+    for reason in QuarantineReason::ALL {
+        m.counter(&format!("ingest.{name}.quarantined.{}", reason.name()))
+            .add(outcome.counts.get(reason));
+    }
+    let (bytes, decode_errors) = progress
+        .iter()
+        .filter(|p| p.source == source)
+        .fold((0u64, 0u64), |(b, e), p| (b + p.bytes, e + p.parse_errors));
+    m.counter(&format!("trace.{name}.bytes_read")).add(bytes);
+    m.counter(&format!("trace.{name}.decode_errors"))
+        .add(decode_errors);
+    for (i, q) in outcome.per_shard_quarantined.iter().enumerate() {
+        m.timing_counter(&format!("ingest.{name}.shard{i:03}.quarantined"))
+            .add(*q);
+    }
+}
+
+/// Pool-level timings: worker count, shard count, and the per-shard read
+/// wall-time distribution. All shard-layout- or clock-dependent, hence the
+/// timing section.
+fn record_pool_timings(m: &Registry, workers: usize, progress: &[ShardProgress], start: Instant) {
+    m.timing_gauge("ingest.workers").set(workers as i64);
+    m.timing_counter("ingest.shards").add(progress.len() as u64);
+    let shard_us = m.timing_histogram(
+        "ingest.shard_read_us",
+        &[100, 1_000, 10_000, 100_000, 1_000_000],
+    );
+    for p in progress {
+        shard_us.observe(p.wall.as_micros() as u64);
+    }
+    m.timing_gauge("ingest.load_wall_us")
+        .set(start.elapsed().as_micros() as i64);
+}
+
 fn check_budget<R>(
     source: ShardSource,
     outcome: &SourceOutcome<R>,
@@ -369,12 +430,15 @@ fn check_budget<R>(
         return Ok(());
     }
     // Name the shard contributing the most quarantined records (first on
-    // ties) — where an operator should start looking.
+    // ties) — where an operator should start looking. The (count, lowest
+    // index wins) key is unique per shard, so `max_by_key` cannot fall
+    // back to its last-maximal-element rule and the documented
+    // first-shard-wins tie-break provably holds.
     let shard = outcome
         .per_shard_quarantined
         .iter()
         .enumerate()
-        .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+        .max_by_key(|&(i, &n)| (n, std::cmp::Reverse(i)))
         .map_or(0, |(i, _)| i);
     Err(IngestError::ErrorBudget {
         source,
@@ -638,6 +702,83 @@ mod tests {
                 .count(),
             20
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: with two equally-quarantined shards, the error-budget
+    /// message must name the *first* one, as the comparator's docs promise.
+    /// The old `max_by` comparator got this right only through an obscure
+    /// index-reversal trick; the `max_by_key` form is unambiguous.
+    #[test]
+    fn error_budget_tie_break_picks_first_shard() {
+        let mut counts = QuarantineCounts::default();
+        for _ in 0..10 {
+            counts.note(QuarantineReason::BadField);
+        }
+        let outcome = SourceOutcome::<ProxyRecord> {
+            kept: Vec::new(),
+            seen: 20,
+            counts,
+            entries: Vec::new(),
+            per_shard_quarantined: vec![5, 5, 0],
+        };
+        match check_budget(ShardSource::Proxy, &outcome, &IngestOptions::default()) {
+            Err(IngestError::ErrorBudget { shard, .. }) => assert_eq!(shard, 0),
+            other => panic!("expected ErrorBudget, got {:?}", other),
+        }
+        // And with the maximum later: the tie-break must not drag the pick
+        // back to shard 0.
+        let outcome = SourceOutcome::<ProxyRecord> {
+            per_shard_quarantined: vec![2, 5, 5],
+            ..outcome
+        };
+        match check_budget(ShardSource::Proxy, &outcome, &IngestOptions::default()) {
+            Err(IngestError::ErrorBudget { shard, .. }) => assert_eq!(shard, 1),
+            other => panic!("expected ErrorBudget, got {:?}", other),
+        }
+    }
+
+    /// The resilient loader's registry: deterministic counters identical
+    /// across worker counts, and per-shard quarantine attribution (timing
+    /// section) consistent with the quarantine totals.
+    #[test]
+    fn resilient_load_metrics_are_deterministic() {
+        let store = sample_store();
+        let dir = temp_dir("metrics");
+        store.save(&dir).unwrap();
+        replace_proxy_line(&dir, 100, "garbage line");
+        let proxy_bytes = std::fs::metadata(dir.join("proxy.log")).unwrap().len();
+
+        let mut baseline: Option<wearscope_obs::Snapshot> = None;
+        for workers in [1, 4] {
+            let reg = wearscope_obs::Registry::new();
+            let opts = IngestOptions::default().with_metrics(reg.clone());
+            load_store_resilient(&dir, workers, &opts).unwrap();
+            let snap = reg.snapshot();
+            assert_eq!(snap.counters["ingest.proxy.records_seen"], 500);
+            assert_eq!(snap.counters["ingest.proxy.records_kept"], 499);
+            assert_eq!(snap.counters["ingest.proxy.quarantined.bad-field"], 1);
+            assert_eq!(snap.counters["ingest.mme.records_seen"], 200);
+            assert_eq!(snap.counters["ingest.io_retries"], 0);
+            assert_eq!(snap.counters["trace.proxy.bytes_read"], proxy_bytes);
+            assert_eq!(snap.counters["trace.proxy.decode_errors"], 1);
+            // Per-shard attribution sums to the quarantine total.
+            let attributed: u64 = snap
+                .timing
+                .counters
+                .iter()
+                .filter(|(k, _)| k.starts_with("ingest.proxy.shard"))
+                .map(|(_, v)| v)
+                .sum();
+            assert_eq!(attributed, 1, "workers={workers}");
+            // The deterministic section is byte-identical across workers.
+            let mut stripped = snap.clone();
+            stripped.timing = Default::default();
+            match &baseline {
+                None => baseline = Some(stripped),
+                Some(first) => assert_eq!(&stripped, first, "workers={workers}"),
+            }
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

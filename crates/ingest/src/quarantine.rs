@@ -19,6 +19,7 @@ use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use wearscope_devicedb::Imei;
+use wearscope_obs::Registry;
 use wearscope_report::{QuarantineCounts, QuarantineReason, ShardSource};
 use wearscope_simtime::SimTime;
 use wearscope_trace::{CodecError, MmeRecord, ProxyRecord};
@@ -37,6 +38,11 @@ pub struct IngestOptions {
     /// Run the content checks (duplicate / out-of-order / skew / IMEI).
     /// The legacy strict loader disables them.
     pub content_checks: bool,
+    /// Registry the load reports into: records seen/kept/quarantined per
+    /// reason and bytes read (deterministic section), per-shard read times
+    /// and retry counts (timing section). A fresh, unobserved registry by
+    /// default, so callers that don't care pay only a few atomic adds.
+    pub metrics: Registry,
 }
 
 /// The default `--max-error-rate`: abort above 1% quarantined.
@@ -49,6 +55,7 @@ impl Default for IngestOptions {
             max_timestamp: None,
             quarantine_log: None,
             content_checks: true,
+            metrics: Registry::new(),
         }
     }
 }
@@ -62,6 +69,7 @@ impl IngestOptions {
             max_timestamp: None,
             quarantine_log: None,
             content_checks: false,
+            metrics: Registry::new(),
         }
     }
 
@@ -90,6 +98,13 @@ impl IngestOptions {
     /// Same options with a different error budget.
     pub fn with_max_error_rate(mut self, rate: f64) -> IngestOptions {
         self.max_error_rate = rate;
+        self
+    }
+
+    /// Same options reporting into `metrics` instead of a private registry.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Registry) -> IngestOptions {
+        self.metrics = metrics;
         self
     }
 }

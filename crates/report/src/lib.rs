@@ -8,6 +8,7 @@ pub mod csv;
 pub mod experiments;
 pub mod figures;
 pub mod ingest;
+pub mod obs;
 pub mod plot;
 pub mod quality;
 pub mod stream;
@@ -18,6 +19,7 @@ pub use csv::CsvWriter;
 pub use experiments::{Band, ExperimentReport, ExperimentRow};
 pub use figures::FigureCsvExporter;
 pub use ingest::{IngestReport, ShardProgress, ShardSource};
+pub use obs::{render_metrics, render_stage_table};
 pub use plot::{bar_chart_log, ecdf_plot, sparkline};
 pub use quality::{DataQuality, QuarantineCounts, QuarantineReason, ShardFailure};
 pub use stream::{StreamSummary, WindowReport};

@@ -6,8 +6,10 @@
 //! a version header, the configuration (verified on resume), the stream
 //! clock and counters, emitted reports, the duplicate sets (as raw record
 //! lines), the attributor queues, and one snapshot per open window.
-//! Writes are atomic — temp file in the same directory, then rename — so
-//! a crash mid-write leaves the previous checkpoint intact.
+//! Writes are atomic and durable — temp file in the same directory,
+//! fsync, rename, then fsync the parent directory — so a crash mid-write
+//! leaves the previous checkpoint intact and a crash right after the
+//! rename cannot resurrect it.
 //!
 //! Checkpoint bytes are deterministic for a given runtime state, but two
 //! runs killed at different points produce different checkpoints; the
@@ -109,8 +111,14 @@ fn push_dedup<R: StreamRecord>(out: &mut String, tag: &str, dedup: &Dedup<R>) {
     }
 }
 
-/// Atomically writes checkpoint text: temp file beside the target, then
-/// rename over it.
+/// Atomically writes checkpoint text: temp file beside the target,
+/// rename over it, then fsync the parent directory.
+///
+/// Syncing the temp file makes the *bytes* durable; only syncing the
+/// directory after the rename makes the *name* durable. Without it a
+/// power cut after the rename can roll the directory entry back to the
+/// previous checkpoint — or to nothing — even though the new bytes were
+/// on disk.
 ///
 /// # Errors
 /// Propagates filesystem errors.
@@ -121,7 +129,16 @@ pub fn write(path: &Path, text: &str) -> io::Result<()> {
         f.write_all(text.as_bytes())?;
         f.sync_all()?;
     }
-    fs::rename(&tmp, path)
+    fs::rename(&tmp, path)?;
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
 }
 
 /// Restores a runtime from checkpoint text, verifying the configuration

@@ -37,6 +37,7 @@ use wearscope_core::snapshot::SnapshotError;
 use wearscope_core::StudyContext;
 use wearscope_devicedb::Imei;
 use wearscope_ingest::reason_for_codec;
+use wearscope_obs::{Counter, Gauge, Histogram, Registry};
 use wearscope_report::{QuarantineReason, StreamSummary, WindowReport};
 use wearscope_simtime::{SimDuration, SimTime};
 use wearscope_trace::{MmeRecord, ProxyRecord, TsvRecord};
@@ -271,6 +272,68 @@ impl<R: StreamRecord> Dedup<R> {
     }
 }
 
+/// Pre-registered metric handles for one streaming run.
+///
+/// The runtime is single-threaded, so everything derived from stream
+/// content and configuration — records, quarantines, window emissions,
+/// the open-window gauge, the watermark — goes in the registry's
+/// deterministic section. Only checkpoint write latency is wall-clock
+/// and lands in the timing section. Counters start at zero per process:
+/// a resumed run reports the work *it* did, not the checkpoint's
+/// cumulative [`DataQuality`](wearscope_report::DataQuality) ledger.
+#[derive(Clone, Debug)]
+pub(crate) struct StreamObs {
+    records_processed: Counter,
+    records_kept: Counter,
+    quarantined: Vec<(QuarantineReason, Counter)>,
+    late_merged: Counter,
+    windows_emitted: Counter,
+    forced_emits: Counter,
+    backpressure_blocks: Counter,
+    checkpoints: Counter,
+    open_windows: Gauge,
+    open_windows_peak: Gauge,
+    watermark_secs: Gauge,
+    checkpoint_write_us: Histogram,
+}
+
+impl StreamObs {
+    pub(crate) fn new(m: &Registry) -> StreamObs {
+        StreamObs {
+            records_processed: m.counter("stream.records_processed"),
+            records_kept: m.counter("stream.records_kept"),
+            quarantined: QuarantineReason::ALL
+                .into_iter()
+                .map(|r| (r, m.counter(&format!("stream.quarantined.{}", r.name()))))
+                .collect(),
+            late_merged: m.counter("stream.late_merged"),
+            windows_emitted: m.counter("stream.windows_emitted"),
+            forced_emits: m.counter("stream.forced_emits"),
+            backpressure_blocks: m.counter("stream.backpressure_blocks"),
+            checkpoints: m.counter("stream.checkpoints"),
+            open_windows: m.gauge("stream.open_windows"),
+            open_windows_peak: m.gauge("stream.open_windows_peak"),
+            watermark_secs: m.gauge("stream.watermark_secs"),
+            checkpoint_write_us: m
+                .timing_histogram("stream.checkpoint_write_us", &[100, 1_000, 10_000, 100_000]),
+        }
+    }
+
+    fn quarantine(&self, reason: QuarantineReason) {
+        if let Some((_, c)) = self.quarantined.iter().find(|(r, _)| *r == reason) {
+            c.inc();
+        }
+    }
+}
+
+impl Default for StreamObs {
+    fn default() -> StreamObs {
+        // A fresh private registry: metrics are always recorded, just
+        // unobservable unless the caller routed them somewhere.
+        StreamObs::new(&Registry::new())
+    }
+}
+
 /// Emission progress: windows strictly below `next_emit` are sealed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct Progress {
@@ -303,6 +366,9 @@ pub struct StreamRuntime<'s> {
     pub(crate) forced_emits: u64,
     /// Source items processed (kept + quarantined + malformed).
     pub(crate) records_processed: u64,
+    /// Metric handles (a private unobserved registry unless
+    /// [`with_metrics`](StreamRuntime::with_metrics) routed them).
+    pub(crate) obs: StreamObs,
 }
 
 /// The attribution slack every window close waits out.
@@ -330,7 +396,17 @@ impl<'s> StreamRuntime<'s> {
             late_merged: 0,
             forced_emits: 0,
             records_processed: 0,
+            obs: StreamObs::default(),
         }
+    }
+
+    /// Routes this runtime's metrics into `registry` instead of the
+    /// default private one. Call before processing any items (handles are
+    /// fresh, so counts recorded earlier stay behind).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &Registry) -> StreamRuntime<'s> {
+        self.obs = StreamObs::new(registry);
+        self
     }
 
     /// The current low watermark.
@@ -371,14 +447,21 @@ impl<'s> StreamRuntime<'s> {
     /// open-window cap.
     pub fn process_item(&mut self, item: SourceItem) -> Result<(), StreamError> {
         self.records_processed += 1;
+        self.obs.records_processed.inc();
         match item {
             SourceItem::Malformed { error, .. } => {
                 self.quality.records_seen += 1;
-                self.quality.quarantined.note(reason_for_codec(&error));
+                self.note_quarantine(reason_for_codec(&error));
                 Ok(())
             }
             SourceItem::Event(ev) => self.process_event(ev),
         }
+    }
+
+    /// Books a quarantine in both the quality ledger and the metrics.
+    fn note_quarantine(&mut self, reason: QuarantineReason) {
+        self.quality.quarantined.note(reason);
+        self.obs.quarantine(reason);
     }
 
     fn process_event(&mut self, ev: StreamEvent) -> Result<(), StreamError> {
@@ -390,7 +473,7 @@ impl<'s> StreamRuntime<'s> {
         };
         // Same precedence as the batch content checks.
         if Imei::from_u64(imei).is_err() {
-            self.quality.quarantined.note(QuarantineReason::UnknownImei);
+            self.note_quarantine(QuarantineReason::UnknownImei);
             return Ok(());
         }
         if self
@@ -398,11 +481,11 @@ impl<'s> StreamRuntime<'s> {
             .max_timestamp
             .is_some_and(|horizon| ts > horizon)
         {
-            self.quality.quarantined.note(QuarantineReason::Skewed);
+            self.note_quarantine(QuarantineReason::Skewed);
             return Ok(());
         }
         if ts < self.watermark() {
-            self.quality.quarantined.note(QuarantineReason::OutOfOrder);
+            self.note_quarantine(QuarantineReason::OutOfOrder);
             return Ok(());
         }
         // Window availability: after forced emission, a record whose every
@@ -427,7 +510,7 @@ impl<'s> StreamRuntime<'s> {
         }
         let next_emit = self.progress.expect("progress initialized").next_emit;
         if hi < next_emit {
-            self.quality.quarantined.note(QuarantineReason::OutOfOrder);
+            self.note_quarantine(QuarantineReason::OutOfOrder);
             return Ok(());
         }
         let fresh = match &ev {
@@ -435,14 +518,16 @@ impl<'s> StreamRuntime<'s> {
             StreamEvent::Mme(r) => self.dedup_mme.insert(r),
         };
         if !fresh {
-            self.quality.quarantined.note(QuarantineReason::Duplicate);
+            self.note_quarantine(QuarantineReason::Duplicate);
             return Ok(());
         }
         // Kept.
         self.quality.records_kept += 1;
+        self.obs.records_kept.inc();
         let late = self.max_event.is_some_and(|m| ts < m);
         if late {
             self.late_merged += 1;
+            self.obs.late_merged.inc();
         }
         for id in lo.max(next_emit)..=hi {
             let ctx = self.ctx;
@@ -500,6 +585,7 @@ impl<'s> StreamRuntime<'s> {
     /// transactions and emit every due window (including empty gaps).
     fn advance_watermark(&mut self) {
         let w = self.watermark();
+        self.obs.watermark_secs.set(w.as_secs() as i64);
         self.dedup_proxy.prune(w);
         self.dedup_mme.prune(w);
         let Some(p) = self.progress else { return };
@@ -535,8 +621,11 @@ impl<'s> StreamRuntime<'s> {
         let (start, end) = self.config.spec.bounds(index);
         self.reports
             .push(agg.report(index, start.as_secs(), end.as_secs(), forced));
+        self.obs.windows_emitted.inc();
+        self.obs.open_windows.set(self.open.len() as i64);
         if forced {
             self.forced_emits += 1;
+            self.obs.forced_emits.inc();
         }
         if self.config.collect_aggregates {
             self.collected.push((index, agg));
@@ -545,28 +634,31 @@ impl<'s> StreamRuntime<'s> {
 
     /// An open window, creating it under the backpressure policy.
     fn ensure_window(&mut self, id: u64) -> Result<&mut WindowAggregates, StreamError> {
-        if !self.open.contains_key(&id) && self.open.len() >= self.config.max_open_windows {
-            match self.config.backpressure {
-                Backpressure::Block => {
-                    return Err(StreamError::Backpressure {
-                        open: self.open.len(),
-                        limit: self.config.max_open_windows,
-                    });
-                }
-                Backpressure::DropOldest => {
-                    // Seal everything up to and including the oldest open
-                    // window; the early reports are marked `forced`.
-                    let oldest = *self.open.keys().next().expect("cap > 0 implies non-empty");
-                    while self.progress.is_some_and(|p| p.next_emit <= oldest) {
-                        self.emit_next(true);
+        if !self.open.contains_key(&id) {
+            if self.open.len() >= self.config.max_open_windows {
+                match self.config.backpressure {
+                    Backpressure::Block => {
+                        self.obs.backpressure_blocks.inc();
+                        return Err(StreamError::Backpressure {
+                            open: self.open.len(),
+                            limit: self.config.max_open_windows,
+                        });
+                    }
+                    Backpressure::DropOldest => {
+                        // Seal everything up to and including the oldest open
+                        // window; the early reports are marked `forced`.
+                        let oldest = *self.open.keys().next().expect("cap > 0 implies non-empty");
+                        while self.progress.is_some_and(|p| p.next_emit <= oldest) {
+                            self.emit_next(true);
+                        }
                     }
                 }
             }
+            self.open.insert(id, WindowAggregates::identity());
+            self.obs.open_windows.set(self.open.len() as i64);
+            self.obs.open_windows_peak.set_max(self.open.len() as i64);
         }
-        Ok(self
-            .open
-            .entry(id)
-            .or_insert_with(WindowAggregates::identity))
+        Ok(self.open.get_mut(&id).expect("just ensured present"))
     }
 
     /// Pulls the source until it ends, stalls, or the stop budget is hit,
@@ -611,7 +703,12 @@ impl<'s> StreamRuntime<'s> {
         path: &Path,
         position: Option<SourcePosition>,
     ) -> Result<(), StreamError> {
+        let started = std::time::Instant::now();
         crate::checkpoint::write(path, &crate::checkpoint::to_text(self, position))?;
+        self.obs.checkpoints.inc();
+        self.obs
+            .checkpoint_write_us
+            .observe(started.elapsed().as_micros() as u64);
         Ok(())
     }
 
@@ -818,6 +915,37 @@ mod tests {
         let (summary, _) = rt.into_results();
         assert_eq!(summary.forced_emits, 1);
         assert_eq!(summary.windows.len(), 3);
+    }
+
+    #[test]
+    fn metrics_mirror_the_quality_ledger() {
+        let fx = Fixture::new();
+        let ctx = fx.ctx();
+        let reg = Registry::new();
+        let mut rt = StreamRuntime::new(&ctx, hour_config(600)).with_metrics(&reg);
+        // 1500 late-merges, 1399 is behind the watermark (1400), and a
+        // replay of the t=2000 record is a duplicate.
+        for t in [1000u64, 2000, 1500, 1399] {
+            rt.process_item(SourceItem::Event(fx.proxy(1, t, "api.weather.com")))
+                .unwrap();
+        }
+        rt.process_item(SourceItem::Event(fx.proxy(1, 2000, "api.weather.com")))
+            .unwrap();
+        rt.finish();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["stream.records_processed"], 5);
+        assert_eq!(snap.counters["stream.records_kept"], 3);
+        assert_eq!(snap.counters["stream.late_merged"], 1);
+        assert_eq!(snap.counters["stream.quarantined.out-of-order"], 1);
+        assert_eq!(snap.counters["stream.quarantined.duplicate"], 1);
+        assert_eq!(snap.counters["stream.quarantined.truncated"], 0);
+        assert_eq!(snap.counters["stream.windows_emitted"], 1);
+        assert_eq!(snap.counters["stream.forced_emits"], 0);
+        assert_eq!(snap.counters["stream.backpressure_blocks"], 0);
+        // All three kept records share window 0; finish drained it.
+        assert_eq!(snap.gauges["stream.open_windows"], 0);
+        assert_eq!(snap.gauges["stream.open_windows_peak"], 1);
+        assert_eq!(snap.gauges["stream.watermark_secs"], 1400);
     }
 
     #[test]

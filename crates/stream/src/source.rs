@@ -17,8 +17,9 @@ use std::io;
 use std::path::Path;
 use std::sync::mpsc;
 
+use wearscope_obs::Registry;
 use wearscope_simtime::SimTime;
-use wearscope_trace::{CodecError, MmeRecord, ProxyRecord, TailItem, TailReader};
+use wearscope_trace::{CodecError, IoMeter, MmeRecord, ProxyRecord, TailItem, TailReader};
 
 /// One record from either vantage point.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -175,6 +176,17 @@ impl WorldSource {
     #[must_use]
     pub fn with_horizon(mut self, horizon: Option<SimTime>) -> WorldSource {
         self.horizon = horizon;
+        self
+    }
+
+    /// Meters both logs' I/O into `registry`: bytes read and decode
+    /// errors, under the same `trace.proxy.*` / `trace.mme.*` names the
+    /// batch loader reports, so batch and stream runs of one world are
+    /// directly comparable.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &Registry) -> WorldSource {
+        self.proxy = self.proxy.with_meter(IoMeter::new(registry, "trace.proxy"));
+        self.mme = self.mme.with_meter(IoMeter::new(registry, "trace.mme"));
         self
     }
 

@@ -28,5 +28,5 @@ pub mod traffic;
 
 pub use config::{Calibration, ScenarioConfig};
 pub use population::{build_population, cohort_sizes, Population};
-pub use scenario::{generate, GeneratedWorld, SavedWorld};
+pub use scenario::{generate, generate_instrumented, GeneratedWorld, SavedWorld};
 pub use subscriber::{InactivityReason, Subscriber, SubscriberKind};

@@ -7,6 +7,7 @@ use wearscope_appdb::AppCatalog;
 use wearscope_devicedb::DeviceDb;
 use wearscope_geo::{CountryLayout, SectorDirectory, SectorGrid, SectorId};
 use wearscope_mobilenet::{MobileNetwork, NetworkEvent, NetworkStats, NetworkSummaries};
+use wearscope_obs::Registry;
 use wearscope_simtime::{SimTime, SECS_PER_HOUR, SECS_PER_MINUTE};
 use wearscope_trace::TraceStore;
 
@@ -147,6 +148,21 @@ fn invalid<E: std::fmt::Display>(e: E) -> std::io::Error {
 /// (user, day) stream owns a split seed, and per-day event batches are
 /// sorted by time before they reach the network.
 pub fn generate(config: &ScenarioConfig) -> GeneratedWorld {
+    generate_instrumented(config, &Registry::new())
+}
+
+/// [`generate`], reporting pipeline metrics into `registry`.
+///
+/// Deterministic section: subscriber, day, event and record counts (all
+/// pure functions of the scenario seed). Timing section: the
+/// `generate/population` → `generate/simulate` → `generate/finish` stage
+/// spans (one `generate/simulate/day` record per simulated day) and an
+/// events-per-second throughput gauge.
+pub fn generate_instrumented(config: &ScenarioConfig, registry: &Registry) -> GeneratedWorld {
+    let started = std::time::Instant::now();
+    let root = registry.stage("generate");
+
+    let stage = root.child("population");
     let layout = CountryLayout::generate(&config.layout, config.seed);
     let sectors = layout.deploy_sectors(
         config.sectors_in_largest_city,
@@ -157,18 +173,50 @@ pub fn generate(config: &ScenarioConfig) -> GeneratedWorld {
     let db = DeviceDb::standard();
     let apps = AppCatalog::standard();
     let population = build_population(config, &layout, &db, &apps);
-    let network = MobileNetwork::with_window(db.clone(), sectors.clone(), config.window);
+    stage.finish();
+    registry
+        .counter("synthpop.subscribers")
+        .add(population.subscribers.len() as u64);
 
+    let network = MobileNetwork::with_window(db.clone(), sectors.clone(), config.window);
+    let events_counter = registry.counter("synthpop.events");
+    let days_counter = registry.counter("synthpop.days");
+    let stage = root.child("simulate");
     let detail_start_day = config.window.detailed().start().day_index();
     for day in config.window.summary().days() {
+        let day_span = stage.child("day");
         let weekend = config.window.calendar().day_is_weekend(day);
         let in_detail = day >= detail_start_day;
         let mut events = generate_day(config, &population, &apps, &grid, day, weekend, in_detail);
         events.sort_by_key(NetworkEvent::time);
+        events_counter.add(events.len() as u64);
+        days_counter.inc();
         network.handle_all(events);
+        day_span.finish();
     }
+    stage.finish();
 
+    let stage = root.child("finish");
     let (store, summaries, stats) = network.finish();
+    registry
+        .counter("synthpop.proxy_records")
+        .add(store.proxy().len() as u64);
+    registry
+        .counter("synthpop.mme_records")
+        .add(store.mme().len() as u64);
+    stage.finish();
+
+    let wall = started.elapsed();
+    registry
+        .timing_gauge("synthpop.gen_wall_us")
+        .set(wall.as_micros() as i64);
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        registry
+            .timing_gauge("synthpop.events_per_sec")
+            .set((events_counter.get() as f64 / secs) as i64);
+    }
+    root.finish();
     GeneratedWorld {
         config: config.clone(),
         layout,
@@ -396,6 +444,39 @@ mod tests {
         assert_eq!(a.store.mme().len(), b.store.mme().len());
         assert_eq!(a.store.proxy(), b.store.proxy());
         assert_eq!(a.store.mme(), b.store.mme());
+    }
+
+    #[test]
+    fn instrumented_metrics_are_deterministic_across_worker_counts() {
+        let mut a_cfg = tiny_config();
+        a_cfg.workers = 1;
+        let mut b_cfg = tiny_config();
+        b_cfg.workers = 3;
+        let ra = Registry::new();
+        let rb = Registry::new();
+        let a = generate_instrumented(&a_cfg, &ra);
+        let _b = generate_instrumented(&b_cfg, &rb);
+        let mut sa = ra.snapshot();
+        let mut sb = rb.snapshot();
+        assert_eq!(
+            sa.counters["synthpop.proxy_records"],
+            a.store.proxy().len() as u64
+        );
+        assert_eq!(
+            sa.counters["synthpop.mme_records"],
+            a.store.mme().len() as u64
+        );
+        assert_eq!(
+            sa.counters["synthpop.days"],
+            a.config.window.summary().num_days()
+        );
+        assert!(sa.counters["synthpop.subscribers"] > 0);
+        assert!(sa.counters["synthpop.events"] > 0);
+        // The deterministic section must not depend on the worker count;
+        // only the timing section may.
+        sa.timing = Default::default();
+        sb.timing = Default::default();
+        assert_eq!(sa, sb);
     }
 
     #[test]

@@ -10,8 +10,52 @@ use std::marker::PhantomData;
 use std::path::Path;
 
 use bytes::BytesMut;
+use wearscope_obs::{Counter, Registry};
 
 use crate::codec::{CodecError, TsvRecord};
+
+/// Byte and decode-error meters for trace I/O.
+///
+/// Registered under a caller-chosen prefix (`"{prefix}.bytes_read"`,
+/// `"{prefix}.decode_errors"`) in the **deterministic** section: for a
+/// given input both totals are functions of the log content alone, not of
+/// sharding or wall clock. Attach to a [`TailReader`] via
+/// [`TailReader::with_meter`].
+#[derive(Clone, Debug, Default)]
+pub struct IoMeter {
+    bytes_read: Counter,
+    decode_errors: Counter,
+}
+
+impl IoMeter {
+    /// Registers the two counters under `prefix` in `registry`.
+    pub fn new(registry: &Registry, prefix: &str) -> IoMeter {
+        IoMeter {
+            bytes_read: registry.counter(&format!("{prefix}.bytes_read")),
+            decode_errors: registry.counter(&format!("{prefix}.decode_errors")),
+        }
+    }
+
+    /// Record `n` bytes read from the log.
+    pub fn add_bytes(&self, n: u64) {
+        self.bytes_read.add(n);
+    }
+
+    /// Record one malformed line.
+    pub fn add_decode_error(&self) {
+        self.decode_errors.inc();
+    }
+
+    /// Total bytes read so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.get()
+    }
+
+    /// Total malformed lines so far.
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors.get()
+    }
+}
 
 /// Decodes one raw log line (trailing `\n`/`\r` included) into a record:
 /// `None` for a blank line, `Some(Err(..))` for a malformed one.
@@ -261,6 +305,7 @@ pub struct TailReader<R: TsvRecord> {
     offset: u64,
     line_no: u64,
     follow: bool,
+    meter: Option<IoMeter>,
     _marker: PhantomData<fn() -> R>,
 }
 
@@ -306,8 +351,17 @@ impl<R: TsvRecord> TailReader<R> {
             offset,
             line_no,
             follow,
+            meter: None,
             _marker: PhantomData,
         })
+    }
+
+    /// Attaches an [`IoMeter`]: bytes read from the file and malformed
+    /// lines are counted from this point on.
+    #[must_use]
+    pub fn with_meter(mut self, meter: IoMeter) -> TailReader<R> {
+        self.meter = Some(meter);
+        self
     }
 
     /// Committed byte offset: the first byte not yet consumed as a line.
@@ -349,10 +403,15 @@ impl<R: TsvRecord> TailReader<R> {
         Ok(match item {
             None => None,
             Some(Ok(r)) => Some(TailItem::Record(r)),
-            Some(Err(error)) => Some(TailItem::Malformed {
-                line: self.line_no,
-                error,
-            }),
+            Some(Err(error)) => {
+                if let Some(meter) = &self.meter {
+                    meter.add_decode_error();
+                }
+                Some(TailItem::Malformed {
+                    line: self.line_no,
+                    error,
+                })
+            }
         })
     }
 
@@ -373,6 +432,9 @@ impl<R: TsvRecord> TailReader<R> {
             self.scanned = self.buf.len();
             let mut chunk = [0u8; 64 * 1024];
             let n = self.file.read(&mut chunk)?;
+            if let Some(meter) = &self.meter {
+                meter.add_bytes(n as u64);
+            }
             if n == 0 {
                 if self.follow {
                     return Ok(TailItem::Pending);
@@ -587,6 +649,22 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(matches!(tail.next_item().unwrap(), TailItem::End));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tail_reader_meter_counts_bytes_and_decode_errors() {
+        let good = recs(1)[0].to_line();
+        let text = format!("{good}\nnot a record\n{good}\n");
+        let path = temp_log("meter", &text);
+        let reg = Registry::new();
+        let meter = IoMeter::new(&reg, "trace.mme");
+        let mut tail: TailReader<MmeRecord> =
+            TailReader::open(&path, false).unwrap().with_meter(meter);
+        while !matches!(tail.next_item().unwrap(), TailItem::End) {}
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["trace.mme.bytes_read"], text.len() as u64);
+        assert_eq!(snap.counters["trace.mme.decode_errors"], 1);
         std::fs::remove_file(&path).unwrap();
     }
 

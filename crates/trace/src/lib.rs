@@ -32,7 +32,7 @@ pub mod store;
 pub use binary::{decode_all, encode_all, BinaryError, BinaryRecord};
 pub use codec::{CodecError, FieldReader, FieldWriter, TsvRecord};
 pub use ids::UserId;
-pub use io::{decode_log_line, LogReader, LogWriter, TailItem, TailReader};
+pub use io::{decode_log_line, IoMeter, LogReader, LogWriter, TailItem, TailReader};
 pub use mme::{MmeEvent, MmeRecord};
 pub use proxy::{ProxyRecord, Scheme};
 pub use shard::{

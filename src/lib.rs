@@ -30,6 +30,7 @@
 //!
 //! | Crate | Role |
 //! |---|---|
+//! | [`obs`] | zero-dependency pipeline metrics & stage tracing |
 //! | [`simtime`] | simulation clock & calendar |
 //! | [`geo`] | sectors, distances, country layout |
 //! | [`devicedb`] | IMEI/TAC and the device database |
@@ -53,6 +54,7 @@ pub use wearscope_faults as faults;
 pub use wearscope_geo as geo;
 pub use wearscope_ingest as ingest;
 pub use wearscope_mobilenet as mobilenet;
+pub use wearscope_obs as obs;
 pub use wearscope_report as report;
 pub use wearscope_simtime as simtime;
 pub use wearscope_stream as stream;

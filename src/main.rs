@@ -19,12 +19,16 @@ use std::process::ExitCode;
 use wearscope::core::takeaways::Takeaways;
 use wearscope::faults::{corrupt_world, FaultSpec};
 use wearscope::ingest::{load_store_resilient, IngestEngine, IngestOptions};
+use wearscope::obs::Registry;
 use wearscope::prelude::*;
-use wearscope::report::{figures::FigureCsvExporter, render_full_report, ExperimentReport};
+use wearscope::report::{
+    figures::FigureCsvExporter, render_full_report, render_stage_table, ExperimentReport,
+};
 use wearscope::stream::{
     checkpoint, Backpressure, EventSource, PumpOptions, PumpOutcome, StreamConfig, StreamRuntime,
     WindowSpec, WorldSource,
 };
+use wearscope::synthpop::generate_instrumented;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,13 +58,16 @@ wearscope — reproduction of 'A First Look at SIM-Enabled Wearables in the Wild
 
 USAGE:
     wearscope generate   --out DIR [--seed N] [--scale quick|compact|paper]
+                         [--metrics FILE]
     wearscope analyze    --world DIR [--full] [--csv DIR] [--workers N] [--max-error-rate R]
+                         [--metrics FILE]
     wearscope corrupt    --world DIR --faults SPEC [--seed N]
     wearscope experiments [--seed N] [--scale quick|compact|paper]
     wearscope stream     --world DIR [--window D] [--slide D] [--lateness D]
                          [--checkpoint DIR] [--checkpoint-every N] [--resume]
                          [--max-open N] [--backpressure block|drop-oldest]
                          [--stop-after N] [--report FILE] [--follow]
+                         [--metrics FILE]
 
 COMMANDS:
     generate     simulate a world and persist logs + cell plan + summaries
@@ -112,6 +119,11 @@ OPTIONS:
     --follow     keep tailing logs that are still growing; window reports
                  print live as the watermark closes them. Pick a --lateness
                  that also covers how far one log may lag behind the other
+    --metrics FILE
+                 write a JSON snapshot of the run's pipeline metrics to FILE
+                 and print the stage-timing table to stderr. Everything
+                 outside the snapshot's `timing` key is bit-identical across
+                 --workers counts (the CI determinism gate relies on it)
 ";
 
 /// Rejects flags a subcommand doesn't know (naming the offender) and bare
@@ -186,9 +198,23 @@ fn parse_duration(s: &str) -> Result<SimDuration, String> {
     Ok(SimDuration::from_secs(n * mult))
 }
 
+/// Writes the registry's snapshot as sorted-key JSON to `path` and prints
+/// the stage-timing table to stderr.
+fn write_metrics(registry: &Registry, path: &str) -> Result<(), String> {
+    let snap = registry.snapshot();
+    std::fs::write(path, snap.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+    let table = render_stage_table(&snap);
+    if !table.is_empty() {
+        eprint!("metrics: stage timings\n{table}");
+    }
+    eprintln!("metrics: snapshot written to {path}");
+    Ok(())
+}
+
 fn cmd_generate(args: &[String]) -> Result<(), String> {
-    reject_unknown(args, &["--out", "--seed", "--scale"], &[])?;
+    reject_unknown(args, &["--out", "--seed", "--scale", "--metrics"], &[])?;
     let out = PathBuf::from(flag(args, "--out")?.ok_or("generate requires --out DIR")?);
+    let metrics_path = flag(args, "--metrics")?;
     let config = scale_config(args)?;
     eprintln!(
         "generating {} subscribers over {} days (seed {}) ...",
@@ -196,15 +222,21 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         config.window.summary().num_days(),
         config.seed
     );
+    let metrics = Registry::new();
     let t0 = std::time::Instant::now();
-    let world = generate(&config);
+    let world = generate_instrumented(&config, &metrics);
     eprintln!(
         "  {} proxy + {} MME records in {:.1?}",
         world.store.proxy().len(),
         world.store.mme().len(),
         t0.elapsed()
     );
+    let save_span = metrics.stage("save");
     world.save(&out).map_err(|e| e.to_string())?;
+    save_span.finish();
+    if let Some(path) = metrics_path {
+        write_metrics(&metrics, &path)?;
+    }
     println!("world written to {}", out.display());
     Ok(())
 }
@@ -212,7 +244,13 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     reject_unknown(
         args,
-        &["--world", "--workers", "--max-error-rate", "--csv"],
+        &[
+            "--world",
+            "--workers",
+            "--max-error-rate",
+            "--csv",
+            "--metrics",
+        ],
         &["--full"],
     )?;
     let dir = PathBuf::from(flag(args, "--world")?.ok_or("analyze requires --world DIR")?);
@@ -223,7 +261,10 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         },
         None => wearscope::ingest::default_workers(),
     };
-    let mut opts = IngestOptions::for_world(&dir);
+    let metrics_path = flag(args, "--metrics")?;
+    let metrics = Registry::new();
+    let root = metrics.stage("analyze");
+    let mut opts = IngestOptions::for_world(&dir).with_metrics(metrics.clone());
     if let Some(s) = flag(args, "--max-error-rate")? {
         let rate: f64 = s.parse().map_err(|_| format!("bad error rate `{s}`"))?;
         if !(0.0..=1.0).contains(&rate) {
@@ -236,9 +277,11 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     // Every worker count goes through the resilient loader — quarantine
     // decisions depend only on file content and order, so the surviving
     // store (and everything downstream) is bit-identical for every N.
+    let load_span = root.child("load");
     let (store, load_report) = load_store_resilient(&dir, workers, &opts)
         .map_err(|e| format!("loading {}: {e}", dir.display()))?;
     let saved = GeneratedWorld::load_with_store(&dir, store).map_err(loading)?;
+    load_span.finish();
     let db = DeviceDb::standard();
     let catalog = AppCatalog::standard();
     let ctx = StudyContext::new(&saved.store, &db, &saved.sectors, &catalog, saved.window);
@@ -253,15 +296,17 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 
     // --workers 1 folds the aggregates sequentially; N > 1 uses the
     // worker-pool engine. Both produce bit-identical reports and CSVs.
+    let fold_span = root.child("fold");
     let aggs = if workers > 1 {
         let (aggs, compute_report) = IngestEngine::new(workers)
-            .compute(&ctx)
+            .compute_with_metrics(&ctx, &metrics)
             .map_err(|e| format!("analyzing {}: {e}", dir.display()))?;
         eprintln!("analyze: {}", compute_report.summary_line());
         Some(aggs)
     } else {
         None
     };
+    fold_span.finish();
 
     if args.iter().any(|a| a == "--full") {
         print!("{}", render_full_report(&ctx, &saved.summaries));
@@ -272,6 +317,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             println!();
         }
     }
+    let report_span = root.child("report");
     let takeaways = match &aggs {
         Some(a) => Takeaways::compute_with(&ctx, &saved.summaries, a),
         None => Takeaways::compute(&ctx, &saved.summaries),
@@ -291,6 +337,11 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             written,
             csv_dir.display()
         );
+    }
+    report_span.finish();
+    root.finish();
+    if let Some(path) = metrics_path {
+        write_metrics(&metrics, &path)?;
     }
     Ok(())
 }
@@ -352,6 +403,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             "--max-open",
             "--backpressure",
             "--report",
+            "--metrics",
         ],
         &["--resume", "--follow"],
     )?;
@@ -406,7 +458,9 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let catalog = AppCatalog::standard();
     let ctx = StudyContext::new(&saved.store, &db, &saved.sectors, &catalog, saved.window);
 
-    let (mut rt, start_pos) = if resume {
+    let metrics = Registry::new();
+    let metrics_path = flag(args, "--metrics")?;
+    let (rt, start_pos) = if resume {
         let path = ckpt_path.as_ref().expect("checked above");
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("reading checkpoint {}: {e}", path.display()))?;
@@ -414,12 +468,16 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     } else {
         (StreamRuntime::new(&ctx, config), None)
     };
+    // Counters report this process's work: a resumed run starts at zero,
+    // the checkpoint's cumulative ledger lives in the quality summary.
+    let mut rt = rt.with_metrics(&metrics);
     let mut source = match &start_pos {
         Some(pos) => WorldSource::resume(&dir, pos, follow),
         None => WorldSource::open(&dir, follow),
     }
     .map_err(|e| format!("opening logs in {}: {e}", dir.display()))?
-    .with_horizon(config.max_timestamp);
+    .with_horizon(config.max_timestamp)
+    .with_metrics(&metrics);
 
     let pump_opts = PumpOptions {
         checkpoint: ckpt_path.clone().map(|p| (p, every)),
@@ -429,6 +487,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     // windows are printed live as the watermark closes them; a bounded run
     // prints them all at once at the end instead.
     let mut live_printed = 0usize;
+    let pump_span = metrics.stage("stream");
     loop {
         let outcome = rt
             .pump(&mut source, &pump_opts)
@@ -454,6 +513,10 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
                     "stream:  stopped after {} records (no checkpoint at the stop point)",
                     rt.records_processed()
                 );
+                pump_span.finish();
+                if let Some(path) = &metrics_path {
+                    write_metrics(&metrics, path)?;
+                }
                 return Ok(());
             }
         }
@@ -463,6 +526,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         rt.write_checkpoint(path, source.position())
             .map_err(|e| e.to_string())?;
     }
+    pump_span.finish();
     let (summary, _) = rt.into_results();
     eprintln!("stream:  {}", summary.summary_line());
     if follow {
@@ -484,6 +548,9 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             "stream:  {} window reports written to {report_path}",
             summary.windows.len()
         );
+    }
+    if let Some(path) = &metrics_path {
+        write_metrics(&metrics, path)?;
     }
     Ok(())
 }
